@@ -1,0 +1,85 @@
+"""PLDI-2012-style experiment: amortised complexity in cost plots.
+
+The 2012 paper's plots come in flavours — *worst-case* (max cost per
+input size) and *average* — precisely because they read differently on
+amortised data structures.  A hash table with doubling rehash is the
+canonical case: the average insert cost is flat, but the worst-case
+plot spikes at every capacity doubling, and the rehash routine itself
+is plainly linear in the table it copies.
+
+Asserted shape:
+
+* ``ht_insert`` average cost stays within a small constant band as the
+  table grows (amortised O(1));
+* its worst-case cost spikes by an order of magnitude over the median;
+* ``ht_grow`` input sizes double step by step and its cost plot
+  classifies linear;
+* memcheck confirms the table lifecycle is clean (every rehash frees
+  the old table; exactly the live table remains).
+"""
+
+from __future__ import annotations
+
+from repro.core import EventBus, RmsProfiler
+from repro.curvefit import classify_growth
+from repro.reporting import scatter, table
+from repro.tools import Memcheck
+from repro.vm import programs
+
+from conftest import run_once, save_result
+
+INSERTS = 180
+
+
+def run_table():
+    profiler = RmsProfiler(keep_activations=True)
+    memcheck = Memcheck()
+    programs.hash_table(INSERTS).run(tools=EventBus([profiler, memcheck]))
+    inserts = [a for a in profiler.db.activations if a.routine == "ht_insert"]
+    grows = [a for a in profiler.db.activations if a.routine == "ht_grow"]
+    return inserts, grows, memcheck.report()
+
+
+def test_2012_amortization(benchmark):
+    inserts, grows, heap_report = run_once(benchmark, run_table)
+
+    profile = {}
+    for record in inserts:
+        profile.setdefault(record.size, []).append(record.cost)
+    worst = sorted((size, max(costs)) for size, costs in profile.items())
+    average = sorted((size, sum(costs) / len(costs)) for size, costs in profile.items())
+    grow_points = [(a.size, a.cost) for a in grows]
+
+    print()
+    print(table(
+        ["rehash #", "table cells read", "cost"],
+        [[index + 1, size, cost] for index, (size, cost) in enumerate(grow_points)],
+        title="Amortisation — ht_grow activations",
+    ))
+    print(scatter(worst, title="ht_insert — worst-case plot (rehash spikes)",
+                  xlabel="rms", ylabel="max cost"))
+    print(scatter(average, title="ht_insert — average plot (flat)",
+                  xlabel="rms", ylabel="mean cost"))
+    save_result("amortization_hash_table", {
+        "worst": worst, "average": average, "grow_points": grow_points,
+    })
+
+    costs = sorted(a.cost for a in inserts)
+    median = costs[len(costs) // 2]
+    assert max(costs) > 10 * median, (median, max(costs))
+
+    # amortised O(1): the 90th-percentile insert cost is a small constant
+    p90 = costs[int(0.9 * (len(costs) - 1))]
+    assert p90 <= 3 * median + 6, (median, p90)
+
+    # rehash inputs double; rehash cost is linear in its input
+    sizes = [size for size, _ in grow_points]
+    assert len(sizes) >= 4
+    for small, big in zip(sizes, sizes[1:]):
+        assert 1.5 * small < big < 3.0 * small, sizes
+    assert classify_growth(grow_points) in ("O(n)", "O(n log n)")
+
+    # heap hygiene: every old table freed, no access errors
+    assert heap_report["errors"] == []
+    assert heap_report["frees"] == len(grows)
+    assert len(heap_report["leaks"]) == 1

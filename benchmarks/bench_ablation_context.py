@@ -1,0 +1,94 @@
+"""Ablation: routine-level vs calling-context-sensitive profiling.
+
+aprof keys profiles by routine; context-sensitive profiling refines the
+key to the full call path.  This ablation quantifies the trade on our
+workloads:
+
+* context profiles are a strict refinement: folding them back yields
+  exactly the routine-level aggregates (correctness);
+* the refinement buys resolution — more profiles and at least as many
+  plot points, separating same-routine activations with different
+  asymptotics (the kdtree recursion gets one profile per depth);
+* the price is bounded: analysis-only replay time stays within a small
+  factor, since context keys are composed once per call, not per access.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import TrmsProfiler, fold_to_routines
+from repro.reporting import table
+from repro.workloads import benchmark as get_benchmark
+
+from conftest import EventRecorder, replay_recorded, run_once
+
+BENCHES = ["376.kdtree", "358.botsalgn", "351.bwaves"]
+REPEATS = 3
+
+
+def run_ablation():
+    rows = []
+    totals = {"routine_time": 0.0, "context_time": 0.0}
+    correctness = []
+    for name in BENCHES:
+        recorder = EventRecorder()
+        get_benchmark(name).run(tools=recorder, threads=4, scale=1.0)
+        events = recorder.events
+
+        timings = {}
+        profilers = {}
+        for mode, context in (("routine", False), ("context", True)):
+            best = float("inf")
+            for _ in range(REPEATS):
+                profiler = TrmsProfiler(context_sensitive=context)
+                start = time.perf_counter()
+                replay_recorded(events, profiler)
+                best = min(best, time.perf_counter() - start)
+                profilers[mode] = profiler
+            timings[mode] = best
+        totals["routine_time"] += timings["routine"]
+        totals["context_time"] += timings["context"]
+
+        routine_db = profilers["routine"].db
+        context_db = profilers["context"].db
+        folded = fold_to_routines(context_db)
+        plain = routine_db.merged()
+        correctness.append(
+            {r: (p.calls, p.size_sum, p.cost_sum) for r, p in folded.items()}
+            == {r: (p.calls, p.size_sum, p.cost_sum) for r, p in plain.items()}
+        )
+        rows.append([
+            name,
+            len(plain),
+            len(context_db.merged()),
+            sum(p.distinct_sizes for p in plain.values()),
+            sum(p.distinct_sizes for p in context_db.merged().values()),
+            f"{timings['context'] / timings['routine']:.2f}x",
+        ])
+    return rows, totals, correctness
+
+
+def test_ablation_context(benchmark):
+    rows, totals, correctness = run_once(benchmark, run_ablation)
+    print()
+    print(table(
+        ["benchmark", "routine profiles", "context profiles",
+         "routine points", "context points", "time ratio"],
+        rows, title="Ablation — context-sensitive vs routine-level keys",
+    ))
+
+    # correctness: context keys refine routine keys exactly
+    assert all(correctness)
+
+    for name, routine_profiles, context_profiles, routine_points, \
+            context_points, _ in rows:
+        assert context_profiles >= routine_profiles, name
+        assert context_points >= routine_points, name
+
+    # kdtree's recursion must fan out into per-depth contexts
+    kdtree_row = rows[0]
+    assert kdtree_row[2] > kdtree_row[1] + 3, kdtree_row
+
+    # the cost of refinement stays bounded
+    assert totals["context_time"] < 2.5 * totals["routine_time"], totals

@@ -1,0 +1,74 @@
+"""Extension experiment: cache behaviour of the suites under cachegrind.
+
+Not in the paper — the comparator family there stops at helgrind — but a
+natural companion study once a cachegrind-style simulator shares the
+event bus: memory-*access-pattern* differences between the kernels show
+up as cache miss rates the same way their *input* differences show up as
+rms/trms.
+
+Asserted shape (textbook cache behaviour):
+
+* the sequential streaming kernels (stencils) enjoy spatial locality:
+  their L1 miss rate stays well below the irregular gather/scatter
+  kernel's;
+* the compute-only Monte Carlo kernel, whose footprint is a handful of
+  result cells, has a near-zero miss rate;
+* LL misses never exceed L1 misses, and every rate is a valid fraction.
+"""
+
+from __future__ import annotations
+
+from repro.reporting import table
+from repro.tools import Cachegrind
+from repro.workloads import benchmark as get_benchmark
+
+from conftest import run_once, save_result
+
+BENCHES = ["351.bwaves", "359.botsspar", "swaptions", "350.md", "canneal"]
+
+
+def run_study():
+    results = {}
+    for name in BENCHES:
+        tool = Cachegrind()
+        get_benchmark(name).run(tools=tool, threads=4, scale=2.0)
+        l1_rate, ll_rate = tool.miss_rates()
+        results[name] = {
+            "accesses": tool.l1.accesses,
+            "l1_rate": l1_rate,
+            "ll_rate": ll_rate,
+            "l1_misses": tool.l1.misses,
+            "ll_misses": tool.ll.misses,
+            "worst": tool.worst_routines(1),
+        }
+    return results
+
+
+def test_ext_cachegrind(benchmark):
+    results = run_once(benchmark, run_study)
+    rows = [
+        [name, data["accesses"], f"{100 * data['l1_rate']:.1f}%",
+         f"{100 * data['ll_rate']:.1f}%",
+         data["worst"][0][0] if data["worst"] else "-"]
+        for name, data in results.items()
+    ]
+    print()
+    print(table(
+        ["benchmark", "accesses", "L1 miss rate", "LL miss rate", "hottest routine"],
+        rows, title="Extension — cache simulation across the suites",
+    ))
+    save_result("ext_cachegrind", {
+        name: {k: v for k, v in data.items() if k != "worst"}
+        for name, data in results.items()
+    })
+
+    for name, data in results.items():
+        assert 0.0 <= data["ll_rate"] <= 1.0
+        assert 0.0 <= data["l1_rate"] <= 1.0
+        assert data["ll_misses"] <= data["l1_misses"], name
+
+    # streaming beats irregular access
+    assert results["351.bwaves"]["l1_rate"] < results["359.botsspar"]["l1_rate"]
+    assert results["351.bwaves"]["l1_rate"] < results["canneal"]["l1_rate"]
+    # tiny-footprint compute stays resident
+    assert results["swaptions"]["l1_rate"] < 0.10, results["swaptions"]

@@ -1,0 +1,79 @@
+"""Figures 1–3: the paper's synthetic examples, end to end on the VM.
+
+* Figure 1a: f reads x, another thread's g overwrites it, f reads again
+  — rms_f = 1 but trms_f = 2 (one thread-induced first-access).
+* Figure 1b: the induced read happens inside a child h — trms_h = 1,
+  trms_f = 2, and f's later read is *not* induced (it saw x through h).
+* Figure 2: producer–consumer over one cell — rms_consumer = 1,
+  trms_consumer = n for n produced values.
+* Figure 3: buffered external reads through a 2-cell buffer —
+  rms_externalRead = 1, trms_externalRead = n, all external.
+
+The benchmark times the full pipeline (guest execution + both
+profilers) over all four scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.reporting import table
+from repro.vm import programs
+
+from conftest import profile_scenario, run_once
+
+ITEMS = 24
+
+
+def run_examples():
+    results = {}
+    results["fig1a"] = profile_scenario(programs.figure_1a())
+    results["fig1b"] = profile_scenario(programs.figure_1b())
+    results["fig2"] = profile_scenario(programs.producer_consumer(ITEMS))
+    results["fig3"] = profile_scenario(programs.buffered_read(ITEMS))
+    return results
+
+
+def one(db, routine):
+    records = [a for a in db.activations if a.routine == routine]
+    assert len(records) == 1, (routine, records)
+    return records[0]
+
+
+def test_fig01_03_examples(benchmark):
+    results = run_once(benchmark, run_examples)
+
+    rows = []
+    rms_1a, trms_1a = results["fig1a"]
+    rows.append(["1a", "f", one(rms_1a, "f").size, one(trms_1a, "f").size, "1 / 2"])
+    rms_1b, trms_1b = results["fig1b"]
+    rows.append(["1b", "f", one(rms_1b, "f").size, one(trms_1b, "f").size, "1 / 2"])
+    rows.append(["1b", "h", one(rms_1b, "h").size, one(trms_1b, "h").size, "1 / 1"])
+    rms_2, trms_2 = results["fig2"]
+    rows.append([
+        "2", "consumer", one(rms_2, "consumer").size, one(trms_2, "consumer").size,
+        f"1 / {ITEMS}",
+    ])
+    rms_3, trms_3 = results["fig3"]
+    rows.append([
+        "3", "externalRead", one(rms_3, "externalRead").size,
+        one(trms_3, "externalRead").size, f"1 / {ITEMS}",
+    ])
+    print()
+    print(table(
+        ["figure", "routine", "rms", "trms", "paper rms/trms"], rows,
+        title="Figures 1-3 — synthetic examples",
+    ))
+
+    assert one(rms_1a, "f").size == 1 and one(trms_1a, "f").size == 2
+    assert one(trms_1a, "f").induced_thread == 1
+
+    assert one(rms_1b, "f").size == 1 and one(trms_1b, "f").size == 2
+    assert one(rms_1b, "h").size == 1 and one(trms_1b, "h").size == 1
+    assert one(trms_1b, "h").induced_thread == 1
+
+    assert one(rms_2, "consumer").size == 1
+    consumer = one(trms_2, "consumer")
+    assert consumer.size == ITEMS and consumer.induced_thread == ITEMS
+
+    assert one(rms_3, "externalRead").size == 1
+    external = one(trms_3, "externalRead")
+    assert external.size == ITEMS and external.induced_external == ITEMS

@@ -1,0 +1,102 @@
+"""Figure 4: worst-case running time plots of ``mysql_select``.
+
+Paper: SELECT * over tables of increasing size.  Tuples stream through a
+kernel-filled buffer, so the rms stops growing once the table exceeds
+the buffer (it "roughly coincides with the buffer size") while the cost
+keeps rising — the rms plot makes the routine look at-least-quadratic.
+The trms counts every buffer refill as induced input, giving the true
+linear trend.
+
+Here: SELECT * over tables of 8..96 rows against a 4-frame buffer pool.
+Asserted shape:
+
+* the trms plot classifies as linear (O(n) over the model family);
+* the rms axis *saturates*: its spread is a small fraction of the trms
+  spread, while cost grows several-fold across the same runs — fitting
+  a power law through the rms plot yields a wildly super-linear
+  exponent, the paper's misleading-bottleneck effect.
+"""
+
+from __future__ import annotations
+
+from repro.core import EventBus, RmsProfiler, TrmsProfiler
+from repro.curvefit import classify_growth, fit_power_law
+from repro.minidb import Database
+from repro.pytrace import TraceSession
+from repro.reporting import scatter, table
+
+from conftest import run_once, save_result
+
+TABLE_SIZES = [8, 16, 24, 32, 48, 64, 80, 96]
+POOL_FRAMES = 4
+PAGE_SIZE = 9
+
+
+def scan_points():
+    rms_points = []
+    trms_points = []
+    for rows in TABLE_SIZES:
+        rms = RmsProfiler(keep_activations=True)
+        trms = TrmsProfiler(keep_activations=True)
+        session = TraceSession(tools=EventBus([rms, trms]))
+        with session:
+            db = Database(session, page_size=PAGE_SIZE, pool_frames=POOL_FRAMES)
+            db.execute("CREATE TABLE t (a, b)")
+            for index in range(rows):
+                db.execute(f"INSERT INTO t VALUES ({index}, {index})")
+            db.flush_now()
+            db.execute("SELECT * FROM t")
+        select_rms = [a for a in rms.db.activations if a.routine == "mysql_select"][-1]
+        select_trms = [a for a in trms.db.activations if a.routine == "mysql_select"][-1]
+        rms_points.append((select_rms.size, select_rms.cost))
+        trms_points.append((select_trms.size, select_trms.cost))
+    return rms_points, trms_points
+
+
+def test_fig04_mysql_select(benchmark):
+    rms_points, trms_points = run_once(benchmark, scan_points)
+
+    print()
+    print(table(
+        ["rows", "rms", "trms", "cost"],
+        [
+            [rows, rms[0], trms[0], trms[1]]
+            for rows, rms, trms in zip(TABLE_SIZES, rms_points, trms_points)
+        ],
+        title="Figure 4 — mysql_select input sizes",
+    ))
+    print(scatter(rms_points, title="Figure 4a — cost vs rms (misleading)",
+                  xlabel="rms", ylabel="cost"))
+    print(scatter(trms_points, title="Figure 4b — cost vs trms (true, linear)",
+                  xlabel="trms", ylabel="cost"))
+
+    # trms tracks the true input: linear growth
+    growth = classify_growth(trms_points)
+    print(f"trms growth class: {growth}")
+    assert growth in ("O(n)", "O(n log n)"), growth
+
+    # the rms axis saturates near the pool while cost keeps growing
+    rms_spread = max(p[0] for p in rms_points) - min(p[0] for p in rms_points)
+    trms_spread = max(p[0] for p in trms_points) - min(p[0] for p in trms_points)
+    pool_cells = POOL_FRAMES * PAGE_SIZE
+    assert max(p[0] for p in rms_points) <= pool_cells + PAGE_SIZE
+    assert rms_spread < 0.35 * trms_spread, (rms_spread, trms_spread)
+    cost_ratio = rms_points[-1][1] / rms_points[0][1]
+    assert cost_ratio > 4.0, cost_ratio
+
+    # the misleading effect: a power-law fit through the rms plot
+    # suggests strongly super-linear growth (paper: "at least quadratic")
+    rms_fit = fit_power_law(rms_points)
+    trms_fit = fit_power_law(trms_points)
+    print(f"power-law exponents: rms {rms_fit.exponent:.2f} "
+          f"vs trms {trms_fit.exponent:.2f}")
+    save_result("fig04_mysql_select", {
+        "table_sizes": TABLE_SIZES,
+        "rms_points": rms_points,
+        "trms_points": trms_points,
+        "rms_exponent": rms_fit.exponent,
+        "trms_exponent": trms_fit.exponent,
+        "trms_growth": growth,
+    })
+    assert rms_fit.exponent > 1.8, rms_fit
+    assert 0.8 <= trms_fit.exponent <= 1.25, trms_fit

@@ -1,0 +1,81 @@
+"""Figure 5: worst-case running time plots of vips' ``im_generate``.
+
+Paper: the same misleading-vs-true contrast as Figure 4, but the induced
+first-accesses come from *thread* interaction: im_generate consumes its
+input through small reusable regions refilled by other pipeline threads,
+so its rms is pinned near the region size while its trms equals the true
+strip size.
+
+Here: the vipslike pipeline over growing strip sizes with a fixed
+16-cell window.  Asserted shape:
+
+* the trms plot grows linearly with the strip size;
+* the rms axis is constant at the window size — zero spread against a
+  several-fold cost increase (the degenerate, misleading plot);
+* im_generate's induced input is thread-induced, not external.
+"""
+
+from __future__ import annotations
+
+from repro.core import EventBus, RmsProfiler, TrmsProfiler
+from repro.curvefit import classify_growth
+from repro.reporting import scatter, table
+from repro.vipslike import vips_pipeline
+
+from conftest import run_once
+
+STRIP_SIZES = [16, 32, 64, 96, 128, 192, 256]
+WINDOW = 16
+
+
+def pipeline_points():
+    rms_points = []
+    trms_points = []
+    induced = []
+    for strip in STRIP_SIZES:
+        rms = RmsProfiler(keep_activations=True)
+        trms = TrmsProfiler(keep_activations=True)
+        scenario = vips_pipeline(workers=1, strips_per_worker=3,
+                                 strip_cells=strip, window=WINDOW)
+        scenario.run(tools=EventBus([rms, trms]), timeslice=13)
+        rms_gen = [a for a in rms.db.activations if a.routine.startswith("im_generate")]
+        trms_gen = [a for a in trms.db.activations if a.routine.startswith("im_generate")]
+        rms_points.append((max(a.size for a in rms_gen), max(a.cost for a in rms_gen)))
+        trms_points.append((max(a.size for a in trms_gen), max(a.cost for a in trms_gen)))
+        induced.append((
+            sum(a.induced_thread for a in trms_gen),
+            sum(a.induced_external for a in trms_gen),
+        ))
+    return rms_points, trms_points, induced
+
+
+def test_fig05_im_generate(benchmark):
+    rms_points, trms_points, induced = run_once(benchmark, pipeline_points)
+
+    print()
+    print(table(
+        ["strip", "rms", "trms", "cost"],
+        [
+            [strip, rms[0], trms[0], trms[1]]
+            for strip, rms, trms in zip(STRIP_SIZES, rms_points, trms_points)
+        ],
+        title="Figure 5 — im_generate input sizes",
+    ))
+    print(scatter(rms_points, title="Figure 5a — cost vs rms (pinned at the window)",
+                  xlabel="rms", ylabel="cost"))
+    print(scatter(trms_points, title="Figure 5b — cost vs trms (true, linear)",
+                  xlabel="trms", ylabel="cost"))
+
+    growth = classify_growth(trms_points)
+    print(f"trms growth class: {growth}")
+    assert growth in ("O(n)", "O(n log n)"), growth
+
+    # rms pinned at the window size for every strip size
+    assert {p[0] for p in rms_points} == {WINDOW}
+    # while cost grows many-fold: the rms plot is a vertical stack
+    assert rms_points[-1][1] / rms_points[0][1] > 5.0
+
+    # the interaction is with threads, not devices
+    for thread_induced, external in induced:
+        assert thread_induced > 0
+        assert external == 0

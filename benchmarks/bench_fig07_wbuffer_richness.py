@@ -1,0 +1,89 @@
+"""Figure 7: profile richness of vips' ``wbuffer_write_thread``.
+
+Paper: the routine was called 110 times, yet under rms all input sizes
+collapsed onto two distinct values (67 and 69); counting external input
+(7b) and external + thread input (7c) spreads the activations over many
+distinct trms values, making the cost trend interpretable.
+
+Here: the vipslike write-behind thread drains variable-size batches of
+worker tiles through one slot and reads device metadata per strip.
+Asserted shape:
+
+* rms: at most two distinct values, right above the 64-cell tile;
+* trms restricted to external input only: strictly more distinct values
+  than rms;
+* full trms (external + thread): at least as many again, with a wider
+  spread, and induced accesses of both kinds present.
+"""
+
+from __future__ import annotations
+
+from repro.core import EventBus, RmsProfiler, TrmsProfiler
+from repro.reporting import scatter, table
+from repro.vipslike import SLOT_CELLS, vips_pipeline
+
+from conftest import run_once
+
+RUNS = [(2, 8, 9), (3, 8, 7), (2, 10, 13), (3, 6, 5)]
+
+
+def wbuffer_profiles():
+    rms_records = []
+    external_records = []
+    trms_records = []
+    for workers, strips, timeslice in RUNS:
+        rms = RmsProfiler(keep_activations=True)
+        # Figure 7b's exact configuration: trms with external input only
+        external = TrmsProfiler(keep_activations=True, count_thread_induced=False)
+        trms = TrmsProfiler(keep_activations=True)
+        scenario = vips_pipeline(workers=workers, strips_per_worker=strips)
+        scenario.run(tools=EventBus([rms, external, trms]), timeslice=timeslice)
+        rms_records += [a for a in rms.db.activations
+                        if a.routine == "wbuffer_write_thread"]
+        external_records += [a for a in external.db.activations
+                             if a.routine == "wbuffer_write_thread"]
+        trms_records += [a for a in trms.db.activations
+                         if a.routine == "wbuffer_write_thread"]
+    return rms_records, external_records, trms_records
+
+
+def test_fig07_wbuffer_richness(benchmark):
+    rms_records, external_records, trms_records = run_once(benchmark, wbuffer_profiles)
+
+    rms_sizes = [a.size for a in rms_records]
+    trms_sizes = [a.size for a in trms_records]
+    external_only = [a.size for a in external_records]
+
+    print()
+    print(table(
+        ["view", "calls", "distinct sizes", "min", "max"],
+        [
+            ["rms (7a)", len(rms_sizes), len(set(rms_sizes)),
+             min(rms_sizes), max(rms_sizes)],
+            ["trms external only (7b)", len(external_only),
+             len(set(external_only)), min(external_only), max(external_only)],
+            ["trms full (7c)", len(trms_sizes), len(set(trms_sizes)),
+             min(trms_sizes), max(trms_sizes)],
+        ],
+        title="Figure 7 — wbuffer_write_thread profile richness",
+    ))
+    print(scatter([(a.size, a.cost) for a in rms_records],
+                  title="Figure 7a — rms plot (collapsed)", xlabel="rms"))
+    print(scatter([(a.size, a.cost) for a in trms_records],
+                  title="Figure 7c — trms plot (rich)", xlabel="trms"))
+
+    # 7a: the rms collapses onto (at most) two values, just above the tile
+    assert len(set(rms_sizes)) <= 2, sorted(set(rms_sizes))
+    assert all(SLOT_CELLS <= size <= SLOT_CELLS + 8 for size in rms_sizes)
+
+    # 7b/7c: both induced views are strictly richer than the rms view
+    # (their relative richness varies run to run, as in the paper, where
+    # distinct rms values may merge or split under trms)
+    assert len(set(external_only)) > len(set(rms_sizes))
+    assert len(set(trms_sizes)) > len(set(rms_sizes))
+    assert max(trms_sizes) > 2 * max(rms_sizes)
+
+    # the paper: 99.9% of this routine's input is induced
+    for record in trms_records:
+        induced = record.induced_thread + record.induced_external
+        assert induced >= 0.9 * record.size

@@ -1,0 +1,96 @@
+"""Figure 9: thread-induced vs external input, routine by routine.
+
+Paper: for every routine of MySQL and vips, the percentage of induced
+first-accesses split between external and thread-induced input, sorted
+by decreasing induced share.  A first look reveals that MySQL routines'
+induced input is mostly *external* (I/O through the kernel) while vips
+routines' is mostly *thread* input — and charts of this kind come out of
+the profiler automatically.
+
+Asserted shape:
+
+* both applications have routines whose input is almost entirely
+  induced (the I/O / communication layer);
+* aggregating per-routine shares: minidb leans external, vipslike leans
+  thread-induced;
+* scan/flush/protocol routines appear with the expected character
+  (mysql_select external-dominant, buf_flush and send_eof
+  thread-dominant, im_generate thread-dominant).
+"""
+
+from __future__ import annotations
+
+from repro.core import EventBus, TrmsProfiler, induced_split_by_routine
+from repro.minidb import minislap
+from repro.pytrace import TraceSession
+from repro.reporting import table
+from repro.vipslike import vips_pipeline
+
+from conftest import run_once
+
+
+def profile_applications():
+    trms_db_mysql = None
+    trms = TrmsProfiler(keep_activations=True)
+    session = TraceSession(tools=EventBus([trms]))
+    with session:
+        minislap(session, clients=4, queries_per_client=10, insert_ratio=0.5,
+                 preload_rows=12)
+    trms_db_mysql = trms.db
+
+    trms_vips = TrmsProfiler(keep_activations=True)
+    scenario = vips_pipeline(workers=3, strips_per_worker=8)
+    scenario.run(tools=EventBus([trms_vips]), timeslice=9)
+    return trms_db_mysql, trms_vips.db
+
+
+def rows_for(db, label):
+    split = induced_split_by_routine(db)
+    merged = db.merged()
+    rows = []
+    for routine, (thread_pct, external_pct) in sorted(
+        split.items(), key=lambda item: -(item[1][0] + item[1][1])
+    ):
+        induced_share = 100.0 * merged[routine].induced_sum / max(merged[routine].size_sum, 1)
+        rows.append([label, routine, f"{induced_share:.0f}%",
+                     f"{thread_pct:.0f}%", f"{external_pct:.0f}%"])
+    return rows, split
+
+
+def test_fig09_induced_split(benchmark):
+    mysql_db, vips_db = run_once(benchmark, profile_applications)
+
+    mysql_rows, mysql_split = rows_for(mysql_db, "minidb")
+    vips_rows, vips_split = rows_for(vips_db, "vipslike")
+    print()
+    print(table(
+        ["app", "routine", "induced share", "thread %", "external %"],
+        mysql_rows + vips_rows,
+        title="Figure 9 — per-routine induced input split",
+    ))
+
+    # both applications expose heavily-induced routines
+    mysql_merged = mysql_db.merged()
+    heavy_mysql = [r for r, p in mysql_merged.items()
+                   if p.size_sum and p.induced_sum / p.size_sum > 0.8]
+    assert heavy_mysql, "minidb should have induced-dominated routines"
+
+    # the named case-study routines behave as the paper describes
+    assert mysql_split["mysql_select"][1] > 50.0        # external-dominant
+    assert mysql_split["buf_flush_buffered_writes"][0] > 50.0   # thread
+    assert mysql_split["send_eof"][0] > 50.0                    # thread
+    im_generate = [r for r in vips_split if r.startswith("im_generate")]
+    assert im_generate
+    for routine in im_generate:
+        assert vips_split[routine][0] > 90.0            # thread-dominant
+
+    # per-application lean: average external share higher in minidb,
+    # average thread share higher in vipslike
+    def mean_external(split):
+        return sum(pct for _, pct in split.values()) / len(split)
+
+    def mean_thread(split):
+        return sum(pct for pct, _ in split.values()) / len(split)
+
+    assert mean_external(mysql_split) > mean_external(vips_split)
+    assert mean_thread(vips_split) > mean_thread(mysql_split)

@@ -1,0 +1,93 @@
+"""Figure 14: time and space overhead as a function of the thread count.
+
+Paper: average slowdown and space overhead relative to nulgrind for 1, 2,
+4, 8, 16 OpenMP threads.  Observations the paper highlights:
+
+* all tools scale properly; the slowdown *decreases slightly* with more
+  threads (instrumentation amortised over serialized execution);
+* callgrind/memcheck space is roughly constant in the thread count;
+* aprof-trms (and helgrind) space grows with threads — but sublinearly,
+  because the three-level shadow tables only materialise what each
+  thread touches.
+
+Asserted shape:
+
+* aprof-trms time relative to nulgrind stays within a tight band across
+  thread counts (no blow-up);
+* aprof-trms total shadow space grows with the thread count but clearly
+  sublinearly (8 threads cost far less than 8x the 1-thread space);
+* callgrind space stays flat (its state is per-routine, not per-thread).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.reporting import table
+from repro.tools import make_tool
+from repro.workloads import benchmark as get_benchmark
+
+from conftest import bench_scale, geometric_mean, run_once
+
+THREAD_COUNTS = [1, 2, 4, 8]
+BENCHES = ["350.md", "352.nab", "360.ilbdc", "376.kdtree"]
+TOOLS = ["nulgrind", "callgrind", "memcheck", "aprof-rms", "aprof-trms", "helgrind"]
+
+
+def sweep():
+    scale = bench_scale()
+    times = {tool: {} for tool in TOOLS}
+    spaces = {tool: {} for tool in TOOLS}
+    for threads in THREAD_COUNTS:
+        for tool_name in TOOLS:
+            per_bench_time = []
+            per_bench_space = []
+            for bench_name in BENCHES:
+                bench = get_benchmark(bench_name)
+                tool = make_tool(tool_name)
+                start = time.perf_counter()
+                machine = bench.run(tools=tool, threads=threads, scale=scale)
+                elapsed = time.perf_counter() - start
+                per_bench_time.append(elapsed / max(machine.stats.total_blocks, 1))
+                per_bench_space.append(max(tool.space_bytes(), 1))
+            times[tool_name][threads] = geometric_mean(per_bench_time)
+            spaces[tool_name][threads] = geometric_mean(per_bench_space)
+    return times, spaces
+
+
+def test_fig14_thread_scaling(benchmark):
+    times, spaces = run_once(benchmark, sweep)
+
+    time_rows = []
+    space_rows = []
+    for tool in TOOLS:
+        time_rows.append(
+            [tool] + [f"{times[tool][t] / times['nulgrind'][t]:.2f}" for t in THREAD_COUNTS]
+        )
+        space_rows.append(
+            [tool] + [f"{spaces[tool][t] / 1024:.1f}K" for t in THREAD_COUNTS]
+        )
+    headers = ["tool"] + [f"{t}T" for t in THREAD_COUNTS]
+    print()
+    print(table(headers, time_rows,
+                title="Figure 14a — time per block vs nulgrind, by thread count"))
+    print(table(headers, space_rows,
+                title="Figure 14b — shadow space, by thread count"))
+
+    # time: trms relative cost stays in a band across thread counts
+    ratios = [times["aprof-trms"][t] / times["nulgrind"][t] for t in THREAD_COUNTS]
+    assert max(ratios) / min(ratios) < 2.5, ratios
+
+    # space: trms grows with threads (per-thread shadows) ...
+    trms_space = [spaces["aprof-trms"][t] for t in THREAD_COUNTS]
+    assert trms_space[-1] > trms_space[0], trms_space
+    # ... but sublinearly: 8 threads cost far less than 8x one thread
+    assert trms_space[-1] < 6.0 * trms_space[0], trms_space
+
+    # callgrind's state does not depend on concurrency
+    callgrind_space = [spaces["callgrind"][t] for t in THREAD_COUNTS]
+    assert max(callgrind_space) < 2.0 * min(callgrind_space), callgrind_space
+
+    # helgrind's concurrency metadata exceeds trms's at every thread count
+    for threads in THREAD_COUNTS[1:]:
+        assert spaces["helgrind"][threads] >= spaces["aprof-trms"][threads]

@@ -1,0 +1,112 @@
+"""Figures 15 and 16: routine profile richness and input volume curves.
+
+Paper, Figure 15: for each benchmark, a curve where point (x, y) means
+"x% of routines have profile richness at least y".  Only a small share
+of routines gains points under trms (I/O and communication are
+encapsulated in few components), but for those the gain is large — up to
+~10^6x for dedup — and negative richness is statistically intangible.
+
+Paper, Figure 16: the same tail representation for input volume; curves
+drop steeply from 1 toward 0 around x ~ 8%, meaning roughly 8% of
+routines carry the thread/stream input that rms cannot see, and for a
+few routines (fluidanimate) almost *all* input is induced.
+
+Asserted shape over the PARSEC-like suite plus minislap:
+
+* negative richness is rare (< 10% of routines overall);
+* dedup (the pipeline) contains routines with large richness gain, and
+  its maximum gain is among the largest across the suite;
+* every benchmark's volume curve starts high (some routine with volume
+  >= 0.5) and ends at 0 (some routine untouched by induced input);
+* fluidanimate-like high-sharing benchmarks have routines with volume
+  close to 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core import ProfileDatabase, richness_by_routine, input_volume_by_routine
+from repro.minidb import minislap
+from repro.pytrace import TraceSession
+from repro.core import EventBus, RmsProfiler, TrmsProfiler
+from repro.reporting import richness_curve, table, volume_curve
+from repro.workloads import PARSEC
+
+from conftest import run_once
+
+BENCHES = ["blackscholes", "canneal", "dedup", "fluidanimate", "swaptions", "vips"]
+
+
+def profile_all() -> Dict[str, Tuple[ProfileDatabase, ProfileDatabase]]:
+    databases = {}
+    for name in BENCHES:
+        rms_db, trms_db, _ = PARSEC[name].profile(threads=4, scale=1.0)
+        databases[name] = (rms_db, trms_db)
+    rms = RmsProfiler()
+    trms = TrmsProfiler()
+    session = TraceSession(tools=EventBus([rms, trms]))
+    with session:
+        minislap(session, clients=4, queries_per_client=10, preload_rows=12)
+    databases["mysqlslap"] = (rms.db, trms.db)
+    return databases
+
+
+def test_fig15_16_richness_and_volume(benchmark):
+    databases = run_once(benchmark, profile_all)
+
+    rows = []
+    negative_total = 0
+    routine_total = 0
+    max_gain = {}
+    high_volume = {}
+    for name, (rms_db, trms_db) in databases.items():
+        richness = richness_by_routine(rms_db, trms_db)
+        volumes = input_volume_by_routine(rms_db, trms_db)
+        curve_r = richness_curve(rms_db, trms_db)
+        curve_v = volume_curve(rms_db, trms_db)
+        negative_total += sum(1 for value in richness.values() if value < 0)
+        routine_total += len(richness)
+        max_gain[name] = max(richness.values(), default=0.0)
+        high_volume[name] = max(volumes.values(), default=0.0)
+        gained = sum(1 for value in richness.values() if value > 0)
+        rows.append([
+            name,
+            len(richness),
+            gained,
+            f"{max_gain[name]:.1f}",
+            f"{high_volume[name]:.2f}",
+            f"{curve_v[0][1]:.2f}" if curve_v else "-",
+        ])
+    print()
+    print(table(
+        ["benchmark", "routines", "gained points", "max richness",
+         "max volume", "top volume point"],
+        rows, title="Figures 15/16 — profile richness and input volume",
+    ))
+
+    # negative richness is statistically intangible
+    assert negative_total <= 0.10 * routine_total, (negative_total, routine_total)
+
+    # the pipeline benchmark shows the largest richness gains
+    assert max_gain["dedup"] > 0.5, max_gain
+    assert max_gain["dedup"] >= max(
+        value for name, value in max_gain.items() if name in ("swaptions", "blackscholes")
+    ), max_gain
+
+    # every benchmark has some induced input carrier ...
+    for name in ("dedup", "fluidanimate", "vips", "mysqlslap"):
+        assert high_volume[name] >= 0.5, (name, high_volume[name])
+    assert high_volume["canneal"] >= 0.3, high_volume["canneal"]
+    # ... and the high-sharing benchmark's carriers take almost all
+    # their input from other threads (paper: fluidanimate ~ all induced)
+    assert high_volume["fluidanimate"] > 0.8, high_volume
+
+    # volume curves end near 0 for compute-dominated benchmarks: most
+    # of their routines see little induced input (lock-heavy canneal is
+    # the exception — every thread keeps absorbing foreign updates)
+    for name in ("swaptions", "blackscholes", "dedup", "mysqlslap"):
+        rms_db, trms_db = databases[name]
+        volumes = input_volume_by_routine(rms_db, trms_db)
+        if volumes:
+            assert min(volumes.values()) <= 0.2, (name, min(volumes.values()))

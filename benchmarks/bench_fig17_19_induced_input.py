@@ -1,0 +1,96 @@
+"""Figures 17, 18 and 19: external vs thread-induced input.
+
+Figure 17 (global): per benchmark, the percentage of induced
+first-accesses that are thread-induced vs external, each access counted
+once, benchmarks sorted by decreasing thread share.  The paper's
+observation: the SPEC OMP2012 benchmarks cluster at the thread-induced
+end (all >= 69% thread input), while stream-processing workloads
+(mysqlslap, blackscholes-style) sit at the external end.
+
+Figures 18/19 (per routine): tail curves "x% of routines have
+thread-induced (resp. external) input >= y%".
+
+Asserted shape:
+
+* at least 10 of the 12 SPEC-like entries have >= 69% thread-induced
+  input, and they occupy the top of the sorted order;
+* external-dominant benchmarks exist (blackscholes, mysqlslap);
+* per-routine: dedup has a meaningful fraction of routines with >= 20%
+  thread-induced input (the paper reads 16% of routines >= 20% off
+  Figure 18), and both curve families are monotone tails.
+"""
+
+from __future__ import annotations
+
+from repro.core import EventBus, TrmsProfiler
+from repro.minidb import minislap
+from repro.pytrace import TraceSession
+from repro.reporting import bars, external_input_curve, induced_breakdown, thread_input_curve
+from repro.workloads import PARSEC, SPEC_OMP
+
+from conftest import run_once, save_result
+
+PARSEC_PICK = ["blackscholes", "canneal", "dedup", "fluidanimate", "swaptions", "vips"]
+
+
+def profile_everything():
+    databases = {}
+    for name, bench in SPEC_OMP.items():
+        _, trms_db, _ = bench.profile(threads=4, scale=0.8)
+        databases[name] = trms_db
+    for name in PARSEC_PICK:
+        _, trms_db, _ = PARSEC[name].profile(threads=4, scale=1.0)
+        databases[name] = trms_db
+    trms = TrmsProfiler()
+    session = TraceSession(tools=EventBus([trms]))
+    with session:
+        minislap(session, clients=4, queries_per_client=10, preload_rows=12)
+    databases["mysqlslap"] = trms.db
+    return databases
+
+
+def test_fig17_19_induced_input(benchmark):
+    databases = run_once(benchmark, profile_everything)
+
+    breakdown = induced_breakdown(databases)
+    print()
+    print(bars([(name, thread_pct) for name, thread_pct, _ in breakdown],
+               title="Figure 17 — thread-induced share per benchmark "
+                     "(rest is external)", unit="%"))
+
+    save_result("fig17_induced_breakdown",
+                [{"benchmark": n, "thread_pct": t, "external_pct": e}
+                 for n, t, e in breakdown])
+    shares = {name: thread_pct for name, thread_pct, _ in breakdown}
+
+    # the SPEC cluster: at least 10 of 12 entries >= 69% thread-induced
+    spec_dominant = [name for name in SPEC_OMP if shares.get(name, 0) >= 69.0]
+    assert len(spec_dominant) >= 10, sorted(shares.items())
+
+    # the sorted order starts with SPEC entries (the paper's clustering)
+    top_half = [name for name, _, _ in breakdown[: len(SPEC_OMP)]]
+    spec_in_top = sum(1 for name in top_half if name in SPEC_OMP)
+    assert spec_in_top >= 8, breakdown
+
+    # external-dominant benchmarks anchor the other end
+    assert shares["blackscholes"] < 50.0, shares
+    assert shares["mysqlslap"] < 69.0, shares
+
+    # Figures 18/19: per-routine tail curves
+    dedup_curve = thread_input_curve(databases["dedup"])
+    assert dedup_curve, "dedup must have routines with induced input"
+    share_20 = max((x for x, y in dedup_curve if y >= 20.0), default=0.0)
+    print(f"Figure 18 — dedup: {share_20:.0f}% of induced-input routines have "
+          f">= 20% thread-induced input")
+    assert share_20 >= 15.0, dedup_curve
+
+    for name in ("mysqlslap", "vips", "dedup"):
+        for curve in (thread_input_curve(databases[name]),
+                      external_input_curve(databases[name])):
+            ys = [y for _, y in curve]
+            assert ys == sorted(ys, reverse=True), (name, curve)   # tails decrease
+            assert all(0.0 <= y <= 100.0 for y in ys)
+
+    # the external curve of mysqlslap dominates vips's at the top
+    mysql_external = external_input_curve(databases["mysqlslap"])
+    assert mysql_external and mysql_external[0][1] > 50.0, mysql_external

@@ -1,0 +1,130 @@
+"""Shared helpers for the evaluation benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Conventions:
+
+* benches print their table/series (run ``pytest benchmarks/
+  --benchmark-only -s`` to see them) and *assert the paper's shape* —
+  who wins, what saturates, what grows — never absolute numbers;
+* the pytest-benchmark fixture times the headline computation of each
+  experiment (one round: these are end-to-end system runs, not
+  microbenchmarks);
+* ``REPRO_BENCH_SCALE`` scales workload sizes (default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Tuple
+
+import pytest
+
+from repro.core import EventBus, ProfileDatabase, RmsProfiler, TrmsProfiler
+from repro.core.events import TraceConsumer
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture
+def scale() -> float:
+    return bench_scale()
+
+
+def run_once(benchmark, fn: Callable):
+    """Time ``fn`` once through pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def timed(fn: Callable) -> Tuple[float, object]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def profile_scenario(scenario, timeslice: int = 23) -> Tuple[ProfileDatabase, ProfileDatabase]:
+    """Run a VM scenario under both profilers; return (rms_db, trms_db)."""
+    rms = RmsProfiler(keep_activations=True)
+    trms = TrmsProfiler(keep_activations=True)
+    scenario.run(tools=EventBus([rms, trms]), timeslice=timeslice)
+    return rms.db, trms.db
+
+
+class EventRecorder(TraceConsumer):
+    """Records the raw event stream of a run for later replay.
+
+    Replaying a recorded stream into a tool measures the tool's
+    *analysis-only* cost, free of VM interpretation and scheduling noise
+    — the precise way to compare profiler variants.
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def on_call(self, thread, routine):
+        self.events.append(("on_call", thread, routine))
+
+    def on_return(self, thread):
+        self.events.append(("on_return", thread, None))
+
+    def on_read(self, thread, addr):
+        self.events.append(("on_read", thread, addr))
+
+    def on_write(self, thread, addr):
+        self.events.append(("on_write", thread, addr))
+
+    def on_kernel_read(self, thread, addr):
+        self.events.append(("on_kernel_read", thread, addr))
+
+    def on_kernel_write(self, thread, addr):
+        self.events.append(("on_kernel_write", thread, addr))
+
+    def on_thread_switch(self, thread):
+        self.events.append(("on_thread_switch", thread, None))
+
+    def on_cost(self, thread, units):
+        self.events.append(("on_cost", thread, units))
+
+
+def replay_recorded(events, tool) -> None:
+    """Feed recorded events into ``tool`` by direct method dispatch."""
+    tool.on_start()
+    for name, first, second in events:
+        method = getattr(tool, name)
+        if second is None:
+            method(first)
+        else:
+            method(first, second)
+    tool.on_finish()
+
+
+def geometric_mean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def save_result(name: str, payload) -> str:
+    """Persist one experiment's series as JSON under benchmarks/results/.
+
+    Every bench saves what it printed, so downstream plotting (or a
+    later diff against the paper) never needs to re-run the suite.
+    Returns the path written.
+    """
+    import json
+
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as stream:
+        json.dump(payload, stream, indent=2, default=str)
+    return path

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Hunt an asymptotic bottleneck in undecorated code, automatically.
+
+A small "application" with a hidden scaling bug: its deduplication step
+uses a linear membership scan inside a loop (accidentally quadratic — a
+classic).  No function is decorated; :class:`AutoTracer` hooks CPython's
+profile callback, calling contexts separate the two users of the shared
+``contains`` helper, and the bottleneck ranking names the offender.
+
+Run:  python examples/auto_bottleneck_hunt.py
+"""
+
+from repro.core import EventBus, RmsProfiler, contexts_of
+from repro.pytrace import AutoTracer, TraceSession
+from repro.reporting import render_bottlenecks, table
+
+
+# --- the "application": plain functions, no instrumentation ----------------
+
+def contains(items, count, value):
+    for index in range(count):
+        if items[index] == value:
+            return True
+    return False
+
+
+def dedupe(source, target):
+    """Accidentally quadratic: a linear scan per appended element."""
+    count = 0
+    for index in range(len(source)):
+        value = source[index]
+        if not contains(target, count, value):
+            target[count] = value
+            count += 1
+    return count
+
+
+def checksum(data):
+    """Honest linear pass (it also calls contains — once)."""
+    total = 0
+    for index in range(len(data)):
+        total += data[index]
+    if contains(data, min(4, len(data)), total):
+        total += 1
+    return total
+
+
+def main():
+    profiler = RmsProfiler(keep_activations=True, context_sensitive=True)
+    session = TraceSession(tools=EventBus([profiler]))
+
+    with session:
+        with AutoTracer(session):
+            for n in (8, 16, 32, 64, 96):
+                source = session.array(n)
+                for index in range(n):
+                    source[index] = index % (n // 2)    # ~half duplicates
+                target = session.array(n)
+                dedupe(source, target)
+                checksum(source)
+
+    print(render_bottlenecks(profiler.db, min_points=4))
+
+    rows = []
+    for key, profile in sorted(contexts_of(profiler.db, "contains").items()):
+        caller = key.rsplit(";", 2)[-2]
+        sizes = sorted(profile.points)
+        rows.append([caller, profile.calls, sizes[0], sizes[-1]])
+    print(table(
+        ["contains() called from", "calls", "min input", "max input"],
+        rows,
+        title="Context-sensitive view: the same helper, two behaviours",
+    ))
+    print("dedupe's scan feeds contains() growing inputs; checksum's stays ~4.")
+
+
+if __name__ == "__main__":
+    main()

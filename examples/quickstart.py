@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: input-sensitive profiling of plain Python code.
+
+Profiles three classic algorithms with the pytrace substrate, then lets
+the library *name* each routine's empirical growth class from a single
+session — no manual input-size annotations anywhere.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import EventBus, RmsProfiler
+from repro.curvefit import select_model
+from repro.pytrace import TraceSession, traced
+from repro.reporting import render_report, scatter, table
+
+
+@traced
+def insertion_sort(data):
+    for i in range(1, len(data)):
+        key = data[i]
+        j = i
+        while j > 0 and data[j - 1] > key:
+            data[j] = data[j - 1]
+            j -= 1
+        data[j] = key
+
+
+@traced
+def linear_sum(data):
+    total = 0
+    for i in range(len(data)):
+        total += data[i]
+    return total
+
+
+@traced
+def all_pairs_max_gap(data):
+    best = 0
+    for i in range(len(data)):
+        for j in range(len(data)):
+            gap = abs(data[i] - data[j])
+            if gap > best:
+                best = gap
+    return best
+
+
+def main():
+    profiler = RmsProfiler(keep_activations=True)
+    session = TraceSession(tools=EventBus([profiler]))
+
+    with session:
+        for n in (4, 8, 12, 16, 24, 32, 48):
+            # reversed input: insertion sort's worst case
+            data = session.array(n)
+            for i in range(n):
+                data[i] = n - i
+            insertion_sort(data)
+            linear_sum(session.array(n, fill=3))
+            all_pairs_max_gap(session.array(n, fill=1))
+
+    print(render_report(profiler.db, title="quickstart session"))
+
+    rows = []
+    for routine in ("insertion_sort", "linear_sum", "all_pairs_max_gap"):
+        points = profiler.db.merged()[routine].worst_case_points()
+        selection = select_model(points)
+        rows.append([routine, len(points), selection.name, f"{selection.best.r2:.3f}"])
+        if routine == "insertion_sort":
+            print(scatter(points, title="insertion_sort — worst-case cost vs input size"))
+    print(table(["routine", "plot points", "growth class", "R^2"], rows,
+                title="Recovered empirical cost functions"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` module,
+so PEP 660 editable installs are unavailable; this enables
+``pip install -e .`` via setuptools' develop mode."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — Input-sensitive profiling (aprof, PLDI 2012) in pure Python.
+
+An input-sensitive profiler estimates, for every routine activation, the
+*size of the input* the activation worked on, and pairs it with the
+activation's cost — turning a profile from one number per routine into an
+empirical *cost function* per routine.  This package reproduces:
+
+* the PLDI 2012 ``aprof`` system: the read memory size (RMS) metric and
+  the single-pass latest-access profiling algorithm (:mod:`repro.core`);
+* its multithreaded extension: the threaded read memory size (TRMS)
+  metric, handling input induced by other threads and by kernel I/O;
+* the substrates the evaluation needs: a Valgrind-like tracing VM
+  (:mod:`repro.vm`), a pure-Python tracing harness
+  (:mod:`repro.pytrace`), comparator analysis tools
+  (:mod:`repro.tools`), a mini relational database (:mod:`repro.minidb`)
+  and an image pipeline (:mod:`repro.vipslike`) standing in for the
+  paper's MySQL and vips case studies, synthetic benchmark suites
+  (:mod:`repro.workloads`), curve fitting (:mod:`repro.curvefit`) and
+  reporting (:mod:`repro.reporting`).
+
+Quickstart::
+
+    from repro.vm import Machine, programs
+    from repro.core import TrmsProfiler, EventBus
+
+    profiler = TrmsProfiler()
+    machine = Machine(programs.producer_consumer(items=64), tools=EventBus([profiler]))
+    machine.run()
+    for profile in profiler.db:
+        print(profile.routine, profile.worst_case_points())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "curvefit",
+    "vm",
+    "pytrace",
+    "tools",
+    "minidb",
+    "vipslike",
+    "workloads",
+    "reporting",
+]

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the registered benchmarks (suite, name, description);
+* ``profile <benchmark>`` — run a benchmark under the profilers and
+  print the aprof-style report, optionally with the bottleneck ranking,
+  a per-routine cost plot, and a machine-readable point dump;
+* ``fit <dump> <routine>`` — re-load a point dump produced by
+  ``profile --dump`` and name the routine's growth class.
+
+The CLI works on the VM benchmark registry; profiling arbitrary Python
+programs goes through the library API (see ``examples/quickstart.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import EventBus, RmsProfiler, TrmsProfiler
+from .curvefit import select_model
+from .reporting import render_bottlenecks, render_report, scatter
+from .reporting.report import dump_points, parse_points
+from .workloads import all_benchmarks, benchmark
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Input-sensitive profiling (aprof reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the registered benchmarks")
+
+    profile = commands.add_parser("profile", help="profile one benchmark")
+    profile.add_argument("benchmark", help="benchmark name (see `repro list`)")
+    profile.add_argument("--threads", type=int, default=4)
+    profile.add_argument("--scale", type=float, default=1.0)
+    profile.add_argument("--metric", choices=["rms", "trms", "both"], default="both")
+    profile.add_argument("--context", action="store_true",
+                         help="calling-context-sensitive profiles")
+    profile.add_argument("--bottlenecks", action="store_true",
+                         help="append the asymptotic bottleneck ranking")
+    profile.add_argument("--plot", metavar="ROUTINE",
+                         help="render the worst-case cost plot of a routine")
+    profile.add_argument("--dump", metavar="FILE",
+                         help="write the trms plot points as TSV")
+    profile.add_argument("--sample", type=int, default=1, metavar="K",
+                         help="burst-sample 1 of every K memory reads "
+                              "(sizes become lower bounds)")
+    profile.add_argument("--html", metavar="FILE",
+                         help="write a self-contained HTML report")
+
+    fit = commands.add_parser("fit", help="fit a dumped cost plot")
+    fit.add_argument("dump", help="TSV file produced by `profile --dump`")
+    fit.add_argument("routine", help="routine to fit")
+
+    record = commands.add_parser(
+        "record", help="record a benchmark's event trace to a file"
+    )
+    record.add_argument("benchmark")
+    record.add_argument("output", help="trace file to write")
+    record.add_argument("--threads", type=int, default=4)
+    record.add_argument("--scale", type=float, default=1.0)
+
+    analyze = commands.add_parser(
+        "analyze", help="run the profilers over a recorded trace"
+    )
+    analyze.add_argument("trace", help="file produced by `record`")
+    analyze.add_argument("--metric", choices=["rms", "trms", "both"], default="both")
+    analyze.add_argument("--context", action="store_true")
+
+    return parser
+
+
+def _cmd_list(out) -> int:
+    for bench in all_benchmarks():
+        out.write(f"{bench.suite:14s} {bench.name:16s} {bench.description}\n")
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    try:
+        bench = benchmark(args.benchmark)
+    except KeyError as error:
+        out.write(f"error: {error.args[0]}\n")
+        return 2
+    profilers = {}
+    if args.metric in ("rms", "both"):
+        profilers["rms"] = RmsProfiler(context_sensitive=args.context)
+    if args.metric in ("trms", "both"):
+        profilers["trms"] = TrmsProfiler(context_sensitive=args.context)
+    consumers = list(profilers.values())
+    tools = EventBus(consumers)
+    if args.sample > 1:
+        from .tools import SamplingShim
+
+        tools = SamplingShim(tools, period=args.sample)
+    machine = bench.run(tools=tools, threads=args.threads, scale=args.scale)
+    if args.sample > 1:
+        out.write(f"note: read sampling 1/{args.sample} — input sizes are "
+                  f"lower bounds\n")
+    out.write(
+        f"{bench.name}: {machine.stats.total_blocks} basic blocks, "
+        f"{machine.stats.threads_spawned} threads\n\n"
+    )
+    for metric, profiler in profilers.items():
+        out.write(render_report(profiler.db, title=f"{metric} profile of {bench.name}"))
+        out.write("\n")
+    reference = profilers.get("trms") or profilers["rms"]
+    if args.bottlenecks:
+        out.write(render_bottlenecks(reference.db))
+        out.write("\n")
+    if args.plot:
+        profile = reference.db.merged().get(args.plot)
+        if profile is None:
+            out.write(f"error: no routine {args.plot!r} in the profile\n")
+            return 2
+        out.write(scatter(profile.worst_case_points(),
+                          title=f"{args.plot} — worst-case cost plot"))
+    if args.dump:
+        with open(args.dump, "w") as stream:
+            count = dump_points(reference.db, stream)
+        out.write(f"wrote {count} plot points to {args.dump}\n")
+    if args.html:
+        from .reporting import render_html_report
+
+        metric = "trms" if "trms" in profilers else "rms"
+        with open(args.html, "w") as stream:
+            stream.write(render_html_report(
+                reference.db, title=f"{bench.name} — input-sensitive profile",
+                metric=metric,
+            ))
+        out.write(f"wrote HTML report to {args.html}\n")
+    return 0
+
+
+def _cmd_record(args, out) -> int:
+    from .core.tracefile import TraceWriter
+
+    try:
+        bench = benchmark(args.benchmark)
+    except KeyError as error:
+        out.write(f"error: {error.args[0]}\n")
+        return 2
+    with open(args.output, "w") as stream:
+        writer = TraceWriter(stream)
+        machine = bench.run(tools=writer, threads=args.threads, scale=args.scale)
+    out.write(f"recorded {writer.events_written} events "
+              f"({machine.stats.total_blocks} basic blocks) to {args.output}\n")
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    from .core import replay
+    from .core.tracefile import TraceFileError, iter_trace
+
+    profilers = {}
+    if args.metric in ("rms", "both"):
+        profilers["rms"] = RmsProfiler(context_sensitive=args.context)
+    if args.metric in ("trms", "both"):
+        profilers["trms"] = TrmsProfiler(context_sensitive=args.context)
+    try:
+        with open(args.trace) as stream:
+            replay(iter_trace(stream), EventBus(list(profilers.values())))
+    except TraceFileError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    for metric, profiler in profilers.items():
+        out.write(render_report(profiler.db, title=f"{metric} profile of {args.trace}"))
+        out.write("\n")
+    return 0
+
+
+def _cmd_fit(args, out) -> int:
+    with open(args.dump) as stream:
+        db = parse_points(stream)
+    profile = db.merged().get(args.routine)
+    if profile is None:
+        known = ", ".join(sorted(db.merged())[:8])
+        out.write(f"error: no routine {args.routine!r} in {args.dump} (have: {known})\n")
+        return 2
+    points = profile.worst_case_points()
+    if len(points) < 2:
+        out.write(f"{args.routine}: only {len(points)} point(s); cannot fit\n")
+        return 1
+    selection = select_model(points)
+    out.write(scatter(points, title=f"{args.routine} — worst-case cost plot"))
+    out.write(f"{args.routine}: {selection.name} "
+              f"(R^2 = {selection.best.r2:.3f}, {len(points)} points)\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
+    if args.command == "fit":
+        return _cmd_fit(args, out)
+    if args.command == "record":
+        return _cmd_record(args, out)
+    if args.command == "analyze":
+        return _cmd_analyze(args, out)
+    return 2  # pragma: no cover - argparse enforces the choices

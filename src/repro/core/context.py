@@ -1,0 +1,86 @@
+"""Calling-context-sensitive profile keys.
+
+By default aprof aggregates activations per routine.  Context-sensitive
+profiling keys them by the *call path* instead, so ``parse`` called from
+``load_config`` and ``parse`` called from ``handle_request`` get
+separate cost plots — routines whose asymptotics depend on the caller
+stop smearing into one cloud.
+
+The profilers implement this by pushing path-composed keys onto the
+shadow stack (``main;handle_request;parse``); this module owns the key
+grammar and the helpers that dissect a context-keyed profile database.
+(The separator is ``;`` — ``>`` appears inside the implicit per-thread
+root names, so it cannot delimit frames.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .profile_data import ProfileDatabase, RoutineProfile
+
+__all__ = [
+    "CONTEXT_SEPARATOR",
+    "compose_context",
+    "leaf_routine",
+    "context_depth",
+    "contexts_of",
+    "fold_to_routines",
+]
+
+CONTEXT_SEPARATOR = ";"
+
+
+def compose_context(parent_key: str, routine: str) -> str:
+    """The context key of ``routine`` activated under ``parent_key``.
+
+    Interned: context keys are dict keys on the profiler's hot path.
+    """
+    import sys
+
+    return sys.intern(parent_key + CONTEXT_SEPARATOR + routine)
+
+
+def leaf_routine(key: str) -> str:
+    """The routine name a (possibly context-) key refers to."""
+    return key.rsplit(CONTEXT_SEPARATOR, 1)[-1]
+
+
+def context_depth(key: str) -> int:
+    """Number of frames in the context key (1 for a plain routine key)."""
+    return key.count(CONTEXT_SEPARATOR) + 1
+
+
+def contexts_of(db: ProfileDatabase, routine: str) -> Dict[str, RoutineProfile]:
+    """All merged context profiles whose leaf routine is ``routine``."""
+    return {
+        key: profile
+        for key, profile in db.merged().items()
+        if leaf_routine(key) == routine
+    }
+
+
+def fold_to_routines(db: ProfileDatabase) -> Dict[str, RoutineProfile]:
+    """Collapse a context-keyed database back to per-routine profiles.
+
+    The result matches what routine-level profiling of the same run
+    would have produced (a property the tests verify): context keys are
+    a refinement, and merging refined profiles recovers the coarse ones.
+    """
+    folded: Dict[str, RoutineProfile] = {}
+    for key, profile in db.merged().items():
+        routine = leaf_routine(key)
+        target = folded.get(routine)
+        if target is None:
+            target = RoutineProfile(routine, -1)
+            folded[routine] = target
+        # merge() checks name equality; recreate a compatible twin
+        twin = RoutineProfile(routine, profile.thread)
+        twin.points = profile.points
+        twin.calls = profile.calls
+        twin.size_sum = profile.size_sum
+        twin.cost_sum = profile.cost_sum
+        twin.induced_thread_sum = profile.induced_thread_sum
+        twin.induced_external_sum = profile.induced_external_sum
+        target.merge(twin)
+    return folded

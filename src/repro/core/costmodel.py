@@ -1,0 +1,65 @@
+"""Cost models for the profiling substrates.
+
+The paper measures cost in *basic blocks executed* rather than wall-clock
+time: BB counts are deterministic, immune to instrumentation-induced
+dilation, and still characterise asymptotic behaviour on small workloads
+(Section 5, following Goldsmith et al.).  Our substrates follow suit:
+
+* the VM charges one unit per basic block it enters (optionally one per
+  instruction, for finer plots);
+* the pytrace substrate charges one unit per tracked operation.
+
+A cost model maps substrate-level execution steps to abstract cost
+units.  Substrates call :meth:`CostModel.block` / :meth:`CostModel.instruction`
+/ :meth:`CostModel.operation` per step and forward the returned units to
+the analysis bus as ``COST`` events.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CostModel", "BasicBlockCost", "InstructionCost", "OperationCost"]
+
+
+class CostModel:
+    """Base cost model: what one execution step is worth, in units."""
+
+    name = "abstract"
+
+    def block(self) -> int:
+        """Units charged when a basic block is entered."""
+        return 0
+
+    def instruction(self) -> int:
+        """Units charged per instruction executed."""
+        return 0
+
+    def operation(self) -> int:
+        """Units charged per tracked high-level operation (pytrace)."""
+        return 0
+
+
+class BasicBlockCost(CostModel):
+    """The paper's metric: one unit per basic block entered."""
+
+    name = "basic-blocks"
+
+    def block(self) -> int:
+        return 1
+
+
+class InstructionCost(CostModel):
+    """One unit per instruction — finer-grained plots, higher overhead."""
+
+    name = "instructions"
+
+    def instruction(self) -> int:
+        return 1
+
+
+class OperationCost(CostModel):
+    """One unit per tracked operation — the pytrace substrate's default."""
+
+    name = "operations"
+
+    def operation(self) -> int:
+        return 1

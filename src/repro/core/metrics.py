@@ -1,0 +1,141 @@
+"""Evaluation metrics of Section 6.1.
+
+All four metrics compare or summarise profile databases produced by the
+RMS and TRMS profilers run over the *same* execution (the benchmarks
+attach both profilers to one event bus):
+
+1. **Routine profile richness** — for a routine ``r``,
+   ``(|trms_r| - |rms_r|) / |rms_r|`` where ``|·|`` is the number of
+   distinct input-size values collected (each one a plot point).  May be
+   negative: distinct rms values can collapse onto one trms value.
+2. **Input volume** — ``1 - sum(rms) / sum(trms)`` over activations;
+   0 when multithreading/external input contribute nothing, approaching
+   1 when induced first-accesses dominate.
+3. **Thread-induced input** — percentage of induced first-accesses due
+   to writes by other threads.
+4. **External input** — percentage of induced first-accesses due to
+   kernel buffer fills.
+
+The module also provides the tail-distribution helper behind the
+"x% of routines have metric ≥ y" curves of Figures 15, 16, 18 and 19.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .profile_data import ProfileDatabase, RoutineProfile
+
+__all__ = [
+    "profile_richness",
+    "richness_by_routine",
+    "input_volume",
+    "input_volume_by_routine",
+    "induced_split",
+    "induced_split_by_routine",
+    "tail_curve",
+]
+
+
+def profile_richness(rms_profile: RoutineProfile, trms_profile: RoutineProfile) -> float:
+    """Richness of one routine: relative gain in distinct plot points."""
+    rms_points = rms_profile.distinct_sizes
+    trms_points = trms_profile.distinct_sizes
+    if rms_points == 0:
+        return 0.0
+    return (trms_points - rms_points) / rms_points
+
+
+def richness_by_routine(
+    rms_db: ProfileDatabase, trms_db: ProfileDatabase
+) -> Dict[str, float]:
+    """Per-routine profile richness over merged (all-thread) profiles.
+
+    Routines missing from either database are skipped: richness compares
+    two views of the same run, so a one-sided routine signals the caller
+    fed databases from different executions.
+    """
+    rms_merged = rms_db.merged()
+    trms_merged = trms_db.merged()
+    result: Dict[str, float] = {}
+    for routine, rms_profile in rms_merged.items():
+        trms_profile = trms_merged.get(routine)
+        if trms_profile is None:
+            continue
+        result[routine] = profile_richness(rms_profile, trms_profile)
+    return result
+
+
+def input_volume(rms_db: ProfileDatabase, trms_db: ProfileDatabase) -> float:
+    """Global input volume: ``1 - sum(rms) / sum(trms)`` (0 if no input)."""
+    trms_total = trms_db.total_size_sum()
+    if trms_total == 0:
+        return 0.0
+    return 1.0 - rms_db.total_size_sum() / trms_total
+
+
+def input_volume_by_routine(
+    rms_db: ProfileDatabase, trms_db: ProfileDatabase
+) -> Dict[str, float]:
+    """Per-routine input volume over merged profiles."""
+    rms_merged = rms_db.merged()
+    trms_merged = trms_db.merged()
+    result: Dict[str, float] = {}
+    for routine, trms_profile in trms_merged.items():
+        if trms_profile.size_sum == 0:
+            continue
+        rms_profile = rms_merged.get(routine)
+        rms_sum = rms_profile.size_sum if rms_profile is not None else 0
+        result[routine] = 1.0 - rms_sum / trms_profile.size_sum
+    return result
+
+
+def induced_split(trms_db: ProfileDatabase) -> Tuple[float, float]:
+    """Global ``(thread-induced %, external %)`` over induced accesses.
+
+    Each induced first-access is counted once, in the thread that
+    performed the read — the routine-independent measure of Figure 17.
+    Returns ``(0.0, 0.0)`` when the run had no induced accesses at all.
+    """
+    thread_induced, external = trms_db.total_induced()
+    total = thread_induced + external
+    if total == 0:
+        return 0.0, 0.0
+    return 100.0 * thread_induced / total, 100.0 * external / total
+
+
+def induced_split_by_routine(
+    trms_db: ProfileDatabase,
+) -> Dict[str, Tuple[float, float]]:
+    """Per-routine ``(thread-induced %, external %)`` of induced input.
+
+    Per the paper (discussion of Figure 17 vs Figure 9), the per-routine
+    measure includes induced accesses performed by the routine's
+    descendants, so the same access may appear under several routines.
+    Routines with no induced accesses are omitted.
+    """
+    result: Dict[str, Tuple[float, float]] = {}
+    for routine, profile in trms_db.merged().items():
+        total = profile.induced_sum
+        if total == 0:
+            continue
+        result[routine] = (
+            100.0 * profile.induced_thread_sum / total,
+            100.0 * profile.induced_external_sum / total,
+        )
+    return result
+
+
+def tail_curve(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Tail distribution: points ``(x, y)`` meaning "x% of values are >= y".
+
+    Produces one point per value, with x ranging over
+    ``100 * k / len(values)`` for ``k = 1 .. len(values)`` and values
+    sorted in decreasing order — the representation used by Figures 15,
+    16, 18 and 19.  Returns an empty list for an empty input.
+    """
+    if not values:
+        return []
+    ordered = sorted(values, reverse=True)
+    count = len(ordered)
+    return [(100.0 * (index + 1) / count, value) for index, value in enumerate(ordered)]

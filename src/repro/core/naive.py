@@ -1,0 +1,225 @@
+"""Naive reference implementations of the RMS and TRMS metrics.
+
+These follow the simple-minded approach of Figure 10 of the paper: every
+pending activation ``r`` of thread ``t`` owns an explicit set ``L_{r,t}``
+of cells accessed during the activation, and every memory event walks
+the whole shadow stack.  A read counts for each pending activation whose
+set does not contain the cell — either because the cell was never
+accessed by the activation's subtree, or because a more recent write by
+another thread (or a kernel buffer fill) *removed* it.
+
+Instead of physically removing cells from every set on every foreign
+write (which would make the oracle quadratic in yet another dimension),
+we keep per-cell write provenance and evaluate the removal lazily: at a
+read by thread ``t``, the cell counts as *induced* when the latest
+foreign-or-kernel write is more recent than the thread's latest access.
+This is observationally equivalent to the eager removal of Figure 10 and
+additionally classifies each induced first-access as thread-induced or
+external, which the evaluation metrics need.
+
+These classes are oracles: asymptotically slow, wasteful of space, but
+simple enough to trust.  The property-based tests drive random traces
+through an oracle and the corresponding timestamping profiler and demand
+identical profile databases.  Semantic conventions (implicit per-thread
+roots, ignored unmatched returns, unwinding at finish, per-thread cost
+counters) deliberately mirror :class:`repro.core.profiler.BaseProfiler`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .context import compose_context
+from .events import TraceConsumer
+from .profile_data import ProfileDatabase
+
+__all__ = ["NaiveRms", "NaiveTrms"]
+
+_KERNEL = -1
+
+
+class _Frame:
+    """One pending activation with its explicit access set ``L_{r,t}``."""
+
+    __slots__ = ("rtn", "accessed", "size", "induced_thread", "induced_external", "cost")
+
+    def __init__(self, rtn: str, cost: int):
+        self.rtn = rtn
+        self.accessed: Set[int] = set()
+        self.size = 0
+        self.induced_thread = 0
+        self.induced_external = 0
+        self.cost = cost
+
+
+class _NaiveBase(TraceConsumer):
+    """Shared stack-walking skeleton of the two oracles."""
+
+    name = "naive"
+
+    def __init__(self, keep_activations: bool = False, context_sensitive: bool = False):
+        self.db = ProfileDatabase(keep_activations=keep_activations)
+        self.context_sensitive = context_sensitive
+        self._stacks: Dict[int, List[_Frame]] = {}
+        self._costs: Dict[int, int] = {}
+
+    def _stack(self, thread: int) -> List[_Frame]:
+        stack = self._stacks.get(thread)
+        if stack is None:
+            self._costs.setdefault(thread, 0)
+            stack = [_Frame(f"<root:{thread}>", 0)]
+            self._stacks[thread] = stack
+        return stack
+
+    def on_call(self, thread: int, routine: str) -> None:
+        stack = self._stack(thread)
+        if self.context_sensitive:
+            routine = compose_context(stack[-1].rtn, routine)
+        stack.append(_Frame(routine, self._costs[thread]))
+
+    def on_return(self, thread: int) -> None:
+        stack = self._stack(thread)
+        if len(stack) > 1:
+            self._pop(thread, stack)
+
+    def _pop(self, thread: int, stack: List[_Frame]) -> None:
+        frame = stack.pop()
+        self.db.add_activation(
+            frame.rtn,
+            thread,
+            frame.size,
+            self._costs[thread] - frame.cost,
+            frame.induced_thread,
+            frame.induced_external,
+        )
+
+    def on_cost(self, thread: int, units: int) -> None:
+        self._stack(thread)
+        self._costs[thread] += units
+
+    def on_thread_switch(self, thread: int) -> None:
+        self._stack(thread)
+
+    def on_finish(self) -> None:
+        for thread, stack in self._stacks.items():
+            while stack:
+                self._pop(thread, stack)
+
+    def _mark_access(self, thread: int, addr: int) -> None:
+        """Record an access by the innermost activation — which, with
+        stack walking, is an access by every pending ancestor too."""
+        for frame in self._stack(thread):
+            frame.accessed.add(addr)
+
+
+class NaiveRms(_NaiveBase):
+    """Figure 10 restricted to a single thread's view: sequential RMS."""
+
+    name = "naive-rms"
+
+    def on_read(self, thread: int, addr: int) -> None:
+        stack = self._stack(thread)
+        for frame in stack:
+            if addr not in frame.accessed:
+                frame.size += 1
+                frame.accessed.add(addr)
+
+    def on_write(self, thread: int, addr: int) -> None:
+        self._mark_access(thread, addr)
+
+    def on_kernel_read(self, thread: int, addr: int) -> None:
+        self.on_read(thread, addr)
+
+    def on_kernel_write(self, thread: int, addr: int) -> None:
+        pass
+
+
+class NaiveTrms(_NaiveBase):
+    """Figure 10 in full: multithreaded TRMS with external input.
+
+    ``count_thread_induced`` / ``count_external`` mirror the efficient
+    profiler's induced-kind selection: an uncounted induced access falls
+    back to plain set membership, i.e. the sequential rule.
+    """
+
+    name = "naive-trms"
+
+    def __init__(
+        self,
+        keep_activations: bool = False,
+        count_thread_induced: bool = True,
+        count_external: bool = True,
+        context_sensitive: bool = False,
+    ):
+        super().__init__(keep_activations=keep_activations,
+                         context_sensitive=context_sensitive)
+        self.count_thread_induced = count_thread_induced
+        self.count_external = count_external
+        self._now = 0
+        #: cell -> (writer, time) of the latest write, any writer
+        self._last_write: Dict[int, Tuple[int, int]] = {}
+        #: cell -> (writer, time) of the latest write by each writer
+        self._writes_by: Dict[int, Dict[int, int]] = {}
+        #: (thread, cell) -> time of the thread's latest access
+        self._last_access: Dict[Tuple[int, int], int] = {}
+
+    def _tick(self) -> int:
+        self._now += 1
+        return self._now
+
+    def _latest_foreign_write(self, thread: int, addr: int) -> Optional[Tuple[int, int]]:
+        """``(writer, time)`` of the latest write to ``addr`` by any
+        writer other than ``thread`` (the kernel included), or None."""
+        by_writer = self._writes_by.get(addr)
+        if not by_writer:
+            return None
+        best: Optional[Tuple[int, int]] = None
+        for writer, time in by_writer.items():
+            if writer == thread:
+                continue
+            if best is None or time > best[1]:
+                best = (writer, time)
+        return best
+
+    def on_read(self, thread: int, addr: int) -> None:
+        now = self._tick()
+        foreign = self._latest_foreign_write(thread, addr)
+        last_access = self._last_access.get((thread, addr), 0)
+        induced = foreign is not None and foreign[1] > last_access
+        external = induced and foreign[0] == _KERNEL
+        if induced and external and not self.count_external:
+            induced = external = False
+        if induced and not external and not self.count_thread_induced:
+            induced = False
+        counted_any = False
+        for frame in self._stack(thread):
+            if induced or addr not in frame.accessed:
+                frame.size += 1
+                if induced:
+                    if external:
+                        frame.induced_external += 1
+                    else:
+                        frame.induced_thread += 1
+                counted_any = True
+            frame.accessed.add(addr)
+        if counted_any and induced:
+            if external:
+                self.db.global_induced_external += 1
+            else:
+                self.db.global_induced_thread += 1
+        self._last_access[(thread, addr)] = now
+
+    def on_write(self, thread: int, addr: int) -> None:
+        now = self._tick()
+        self._mark_access(thread, addr)
+        self._last_access[(thread, addr)] = now
+        self._last_write[addr] = (thread, now)
+        self._writes_by.setdefault(addr, {})[thread] = now
+
+    def on_kernel_read(self, thread: int, addr: int) -> None:
+        self.on_read(thread, addr)
+
+    def on_kernel_write(self, thread: int, addr: int) -> None:
+        now = self._tick()
+        self._last_write[addr] = (_KERNEL, now)
+        self._writes_by.setdefault(addr, {})[_KERNEL] = now

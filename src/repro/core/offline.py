@@ -1,0 +1,229 @@
+"""Offline, parallelisable TRMS analysis — the paper's future work.
+
+The paper closes with: "it would be interesting to adapt our
+methodology to a fully scalable and concurrent dynamic instrumentation
+framework, in order to exploit parallelism to leverage the slowdown of
+our profiler."  The online algorithm resists that: every thread's reads
+consult one mutable global write-timestamp shadow.
+
+This module restructures the computation into two passes over a
+*recorded* trace so the expensive part parallelises:
+
+1. **Index pass** (single, cheap, write-events only): build, per cell,
+   the sorted list of global positions at which *anyone* wrote it, with
+   the writer's identity.  The index is immutable afterwards.
+2. **Analysis pass** (per thread, independent): replay only thread
+   ``t``'s events through the ordinary sequential latest-access
+   machinery, except that the induced-first-access test becomes a
+   binary search: a read of cell ``l`` at global position ``p`` is
+   induced iff the latest write to ``l`` before ``p`` happened after
+   ``t``'s latest access to ``l``.  (That write is necessarily foreign
+   or kernel: a local write would itself be a later local access.)
+
+Pass 2 touches no shared mutable state, so threads can be analysed
+concurrently (:func:`analyze_trace` with ``workers > 1``) or on
+different machines entirely.  The result is **identical** to the online
+:class:`~repro.core.trms.TrmsProfiler` — a property the differential
+tests enforce — because global trace positions refine the online
+algorithm's counter: any two events the counter orders strictly are
+also position-ordered, and events sharing a counter value are never a
+foreign-write/local-access pair (thread switches and kernel fills bump
+the counter).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .context import compose_context
+from .events import Event, EventKind
+from .profile_data import ProfileDatabase
+from .stack import ShadowStack
+
+__all__ = ["WriteIndex", "build_write_index", "split_by_thread", "analyze_thread", "analyze_trace"]
+
+_KERNEL = -1
+
+
+class WriteIndex:
+    """Immutable per-cell write history: positions and writers."""
+
+    def __init__(self) -> None:
+        self._positions: Dict[int, List[int]] = {}
+        self._writers: Dict[int, List[int]] = {}
+
+    def add(self, addr: int, position: int, writer: int) -> None:
+        self._positions.setdefault(addr, []).append(position)
+        self._writers.setdefault(addr, []).append(writer)
+
+    def latest_before(self, addr: int, position: int) -> Optional[Tuple[int, int]]:
+        """``(position, writer)`` of the last write to ``addr`` strictly
+        before trace position ``position``, or None."""
+        positions = self._positions.get(addr)
+        if not positions:
+            return None
+        index = bisect_left(positions, position)
+        if index == 0:
+            return None
+        return positions[index - 1], self._writers[addr][index - 1]
+
+    def cells(self) -> int:
+        return len(self._positions)
+
+
+def build_write_index(events: Sequence[Event]) -> WriteIndex:
+    """Pass 1: collect every write, in trace order."""
+    index = WriteIndex()
+    for position, event in enumerate(events):
+        if event.kind == EventKind.WRITE:
+            index.add(event.arg, position, event.thread)
+        elif event.kind == EventKind.KERNEL_WRITE:
+            index.add(event.arg, position, _KERNEL)
+    return index
+
+
+def split_by_thread(events: Sequence[Event]) -> Dict[int, List[Tuple[int, Event]]]:
+    """Bucket positioned events per thread (pass-1 byproduct).
+
+    Kernel writes and thread switches are dropped: the write index
+    carries the former, and the latter have no per-thread effect — so
+    pass 2 touches each event exactly once across all threads.
+    """
+    buckets: Dict[int, List[Tuple[int, Event]]] = {}
+    for position, event in enumerate(events):
+        kind = event.kind
+        if kind == EventKind.KERNEL_WRITE or kind == EventKind.THREAD_SWITCH:
+            buckets.setdefault(event.thread, [])
+            continue
+        buckets.setdefault(event.thread, []).append((position, event))
+    return buckets
+
+
+def analyze_thread(
+    positioned_events: Sequence[Tuple[int, Event]],
+    thread: int,
+    index: WriteIndex,
+    db: ProfileDatabase,
+    context_sensitive: bool = False,
+) -> None:
+    """Pass 2 for one thread: sequential machinery + indexed induced test.
+
+    ``positioned_events`` is this thread's bucket from
+    :func:`split_by_thread` — ``(global position, event)`` pairs.
+    Appends ``thread``'s profiles into ``db`` (thread-disjoint: safe to
+    run different threads into different databases concurrently and
+    merge).
+    """
+    stack = ShadowStack()
+    stack.push(f"<root:{thread}>", 0, 0)
+    #: cell -> trace position of this thread's latest access
+    last_access: Dict[int, int] = {}
+    cost = 0
+
+    def pop() -> None:
+        nonlocal cost
+        entry = stack.pop()
+        parent = stack.entries[-1] if stack.entries else None
+        if parent is not None:
+            parent.partial += entry.partial
+            parent.induced_thread += entry.induced_thread
+            parent.induced_external += entry.induced_external
+        db.add_activation(
+            entry.rtn, thread, entry.partial, cost - entry.cost,
+            entry.induced_thread, entry.induced_external,
+        )
+
+    def on_read(position: int, addr: int) -> None:
+        last = last_access.get(addr, -1)
+        top = stack.entries[-1]
+        latest_write = index.latest_before(addr, position)
+        if latest_write is not None and latest_write[0] > last:
+            top.partial += 1
+            if latest_write[1] == _KERNEL:
+                top.induced_external += 1
+                db.global_induced_external += 1
+            else:
+                top.induced_thread += 1
+                db.global_induced_thread += 1
+        elif last < top.ts:
+            top.partial += 1
+            if last >= 0:
+                ancestor = stack.find_latest_not_after(last)
+                if ancestor is not None:
+                    ancestor.partial -= 1
+        last_access[addr] = position
+
+    for position, event in positioned_events:
+        kind = event.kind
+        if kind == EventKind.READ or kind == EventKind.KERNEL_READ:
+            on_read(position, event.arg)
+        elif kind == EventKind.WRITE:
+            last_access[event.arg] = position
+        elif kind == EventKind.COST:
+            cost += event.arg
+        elif kind == EventKind.CALL:
+            routine = event.arg
+            if context_sensitive:
+                routine = compose_context(stack.entries[-1].rtn, routine)
+            stack.push(routine, position, cost)
+        elif kind == EventKind.RETURN:
+            if len(stack) > 1:
+                pop()
+
+    while stack:
+        pop()
+
+
+def analyze_trace(
+    events: Sequence[Event],
+    workers: int = 1,
+    context_sensitive: bool = False,
+    keep_activations: bool = False,
+) -> ProfileDatabase:
+    """Full offline analysis of a merged trace.
+
+    With ``workers > 1`` the per-thread analyses run on a pool of Python
+    threads; each works against the shared immutable index and its own
+    private database, merged at the end.  (CPython's GIL caps the
+    realised speedup; the *structure* — no shared mutable analysis
+    state — is the point, and ports directly to processes.)
+    """
+    index = build_write_index(events)
+    buckets = split_by_thread(events)
+    thread_ids = list(buckets)
+    databases = [ProfileDatabase(keep_activations=keep_activations)
+                 for _ in thread_ids]
+
+    if workers <= 1 or len(thread_ids) <= 1:
+        for db, thread in zip(databases, thread_ids):
+            analyze_thread(buckets[thread], thread, index, db, context_sensitive)
+    else:
+        pending = list(zip(databases, thread_ids))
+        guard = threading.Lock()
+
+        def drain() -> None:
+            while True:
+                with guard:
+                    if not pending:
+                        return
+                    db, thread = pending.pop()
+                analyze_thread(buckets[thread], thread, index, db, context_sensitive)
+
+        pool = [threading.Thread(target=drain) for _ in range(min(workers, len(pending)))]
+        for worker in pool:
+            worker.start()
+        for worker in pool:
+            worker.join()
+
+    # Per-thread databases are key-disjoint (profiles are keyed by
+    # (routine, thread)), so combining them is a plain dict union.
+    combined = ProfileDatabase(keep_activations=keep_activations)
+    for db in databases:
+        combined.global_induced_thread += db.global_induced_thread
+        combined.global_induced_external += db.global_induced_external
+        combined.activations.extend(db.activations)
+        for profile in db:
+            combined._profiles[(profile.routine, profile.thread)] = profile
+    return combined

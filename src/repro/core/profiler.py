@@ -1,0 +1,192 @@
+"""Shared machinery of the RMS and TRMS profilers.
+
+Both profilers follow the same skeleton (the *latest-access* approach of
+the PLDI 2012 paper, restated in Section 4.2 of the follow-up):
+
+* a global counter ``count`` incremented at every routine activation and
+  thread switch;
+* one shadow stack per thread (:mod:`repro.core.stack`) whose entries
+  carry the activation timestamp, a cost snapshot and the *partial*
+  input size obeying Invariant 2;
+* one thread-specific shadow memory per thread mapping each cell to the
+  timestamp of the thread's latest access.
+
+They differ only in how ``read``/``write``/kernel events manipulate the
+timestamps, which is exactly what the subclasses override.
+
+The base class also implements the practical details the paper's tool
+needs: implicit per-thread root activations (so that input attributed to
+a thread's outermost code is not lost), unwinding of still-pending
+activations at ``on_finish`` time, and periodic counter-overflow
+renumbering (Section 4.4) driven by ``max_count``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .context import compose_context
+from .events import TraceConsumer
+from .profile_data import ProfileDatabase
+from .renumber import renumber_timestamps
+from .shadow import DictShadow, ShadowMemory
+from .stack import ShadowStack, StackEntry
+
+__all__ = ["ThreadState", "BaseProfiler"]
+
+
+class ThreadState:
+    """Per-thread profiler state: shadow stack, shadow memory, cost."""
+
+    __slots__ = ("thread", "stack", "ts", "cost")
+
+    def __init__(self, thread: int, shadow_factory: Callable[[], object]):
+        self.thread = thread
+        self.stack = ShadowStack()
+        #: thread-specific shadow memory ``ts_t``
+        self.ts = shadow_factory()
+        #: per-thread cost counter (basic blocks executed by this thread)
+        self.cost = 0
+
+
+class BaseProfiler(TraceConsumer):
+    """Common skeleton for :class:`RmsProfiler` and :class:`TrmsProfiler`.
+
+    Args:
+        keep_activations: forwarded to :class:`ProfileDatabase`.
+        use_chunked_shadow: use the paper's three-level
+            :class:`ShadowMemory` (True) or the dict-backed reference
+            shadow (False, default — faster for the small address spaces
+            of most tests).
+        max_count: renumber timestamps whenever the global counter
+            reaches this value, emulating a bounded counter width
+            (Section 4.4).  ``None`` disables renumbering.
+    """
+
+    name = "profiler"
+
+    #: name prefix of implicit per-thread root activations
+    ROOT_PREFIX = "<root:"
+
+    def __init__(
+        self,
+        keep_activations: bool = False,
+        use_chunked_shadow: bool = False,
+        max_count: Optional[int] = None,
+        context_sensitive: bool = False,
+    ):
+        self.db = ProfileDatabase(keep_activations=keep_activations)
+        self._shadow_factory: Callable[[], object] = (
+            ShadowMemory if use_chunked_shadow else DictShadow
+        )
+        #: key profiles by full call path instead of routine name
+        self.context_sensitive = context_sensitive
+        self.max_count = max_count
+        self.count = 0
+        self.states: Dict[int, ThreadState] = {}
+        self.renumber_count = 0
+        # memoize the most recent thread's state: events arrive in runs
+        # per thread (the trace is serialized), so this hits almost always
+        self._cached_thread: Optional[int] = None
+        self._cached_state: Optional[ThreadState] = None
+
+    # -- state management ---------------------------------------------------
+
+    def _state(self, thread: int) -> ThreadState:
+        """The state of ``thread``, creating it (with an implicit root
+        activation) on first use."""
+        if thread == self._cached_thread:
+            return self._cached_state
+        state = self.states.get(thread)
+        if state is None:
+            state = ThreadState(thread, self._shadow_factory)
+            self.states[thread] = state
+            self._push(state, f"{self.ROOT_PREFIX}{thread}>")
+        self._cached_thread = thread
+        self._cached_state = state
+        return state
+
+    def _bump_count(self) -> int:
+        self.count += 1
+        if self.max_count is not None and self.count >= self.max_count:
+            self._renumber()
+        return self.count
+
+    def _push(self, state: ThreadState, routine: str) -> StackEntry:
+        self._bump_count()
+        return state.stack.push(routine, self.count, state.cost)
+
+    def _pop(self, state: ThreadState) -> None:
+        entry = state.stack.pop()
+        inclusive_cost = state.cost - entry.cost
+        parent = state.stack.entries[-1] if state.stack.entries else None
+        if parent is not None:
+            parent.partial += entry.partial
+            parent.induced_thread += entry.induced_thread
+            parent.induced_external += entry.induced_external
+        self.db.add_activation(
+            entry.rtn,
+            state.thread,
+            entry.partial,
+            inclusive_cost,
+            entry.induced_thread,
+            entry.induced_external,
+        )
+
+    # -- TraceConsumer callbacks ----------------------------------------------
+
+    def on_call(self, thread: int, routine: str) -> None:
+        state = self._state(thread)
+        if self.context_sensitive:
+            routine = compose_context(state.stack.entries[-1].rtn, routine)
+        self._push(state, routine)
+
+    def on_return(self, thread: int) -> None:
+        state = self._state(thread)
+        # Never pop the implicit root: unmatched returns (trimmed traces,
+        # longjmp-style exits) are treated as no-ops, as aprof does.
+        if len(state.stack) > 1:
+            self._pop(state)
+
+    def on_cost(self, thread: int, units: int) -> None:
+        self._state(thread).cost += units
+
+    def on_thread_switch(self, thread: int) -> None:
+        self._bump_count()
+        # Touch the state so the implicit root exists from the very first
+        # event of the thread, whatever kind it is.
+        self._state(thread)
+
+    def on_finish(self) -> None:
+        """Unwind every pending activation, including implicit roots.
+
+        Routines still on a stack at the end of the run (``main``, thread
+        entry points) are reported as if they returned at exit time.
+        """
+        for state in self.states.values():
+            while state.stack:
+                self._pop(state)
+
+    # -- renumbering -----------------------------------------------------------
+
+    def _global_write_shadow(self):
+        """The global write-timestamp shadow, or None for the RMS profiler."""
+        return None
+
+    def _renumber(self) -> None:
+        self.count = renumber_timestamps(
+            list(self.states.values()), self._global_write_shadow()
+        )
+        self.renumber_count += 1
+
+    # -- accounting -------------------------------------------------------------
+
+    def space_bytes(self) -> int:
+        total = 0
+        for state in self.states.values():
+            total += state.ts.space_bytes()
+            total += len(state.stack.entries) * 48
+        shadow = self._global_write_shadow()
+        if shadow is not None:
+            total += shadow.space_bytes()
+        return total

@@ -1,0 +1,105 @@
+"""Counter-overflow renumbering (Section 4.4 of the paper).
+
+The global timestamp counter is shared by all threads and, with a small
+counter width, overflows on long executions.  Overflows would corrupt
+the partial order between memory timestamps and yield wrong input sizes,
+so the profiler periodically *renumbers* every timestamp it holds.
+
+The key observation (the paper's): the algorithm never compares
+timestamps of two *different* memory locations — the only predicates it
+evaluates are, for a single location ``l`` and a thread ``t``:
+
+1. ``ts_t[l] < wts[l]``                      (induced first-access test)
+2. ``ts_t[l]`` vs. the activation timestamps of ``t``'s pending stack
+   (first-access test and the ancestor binary search).
+
+Renumbering may therefore reassign timestamps freely as long as those
+predicates keep their truth values.  Following the paper we give the
+``i``-th oldest pending activation the stamp ``3*i`` and place memory
+stamps inside the window ``[3*q, 3*(q+1))`` of the latest pending
+activation ``q`` started before them, using the three residues to
+preserve the location's ``ts_t`` vs. ``wts`` relation:
+
+* ``ts_t[l] == wts[l]``  →  both become ``3*q + 1``;
+* ``ts_t[l] <  wts[l]``  →  ``ts_t[l] = 3*q``  (``wts[l] = 3*q + 1``);
+* ``ts_t[l] >  wts[l]``  →  ``ts_t[l] = 3*q + 2``.
+
+Stamps of value 0 are the "never accessed / never written" sentinel and
+are left untouched.  Ranks are 1-based so no live stamp collapses onto
+the sentinel (the profiler guarantees every live stamp is preceded by at
+least one pending activation: the issuing thread's implicit root).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["renumber_timestamps"]
+
+
+def _rank(sorted_stamps: Sequence[int], value: int) -> int:
+    """Number of pending-activation stamps ``<= value`` (0-based count)."""
+    return bisect_right(sorted_stamps, value)
+
+
+def renumber_timestamps(states: Iterable, wts: Optional[object]) -> int:
+    """Renumber all timestamps held by the profiler; return the new count.
+
+    Args:
+        states: the profiler's per-thread states; each must expose
+            ``stack`` (a :class:`~repro.core.stack.ShadowStack`) and
+            ``ts`` (a shadow memory with ``items``/``set``).
+        wts: the global write-timestamp shadow of the TRMS profiler, or
+            None for the sequential RMS profiler (whose renumbering only
+            needs to preserve predicate 2).
+
+    Returns:
+        The new value for the global counter: strictly larger than every
+        reassigned stamp.
+    """
+    states = list(states)
+
+    # Lines 1-4: collect and sort the (distinct) timestamps of every
+    # pending activation across all threads.
+    stamps: List[int] = []
+    for state in states:
+        for entry in state.stack.entries:
+            stamps.append(entry.ts)
+    stamps.sort()
+
+    # Lines 5-8: reassign activation timestamps as multiples of 3, by rank.
+    new_by_old = {old: 3 * (index + 1) for index, old in enumerate(stamps)}
+    for state in states:
+        for entry in state.stack.entries:
+            entry.ts = new_by_old[entry.ts]
+
+    # Lines 9-18: reassign memory timestamps, thread-specific then global.
+    if wts is not None:
+        new_wts = {}
+        for addr, stamp in wts.items():
+            q = _rank(stamps, stamp)
+            new_wts[addr] = 3 * q + 1
+        for state in states:
+            for addr, stamp in state.ts.items():
+                write_stamp = wts.get(addr)
+                j = _rank(stamps, stamp)
+                if write_stamp == 0:
+                    state.ts.set(addr, 3 * j + 1)
+                elif stamp == write_stamp:
+                    state.ts.set(addr, 3 * j + 1)
+                elif stamp < write_stamp:
+                    q = _rank(stamps, write_stamp)
+                    state.ts.set(addr, 3 * j if j == q else 3 * j + 1)
+                else:
+                    q = _rank(stamps, write_stamp)
+                    state.ts.set(addr, 3 * j + 2 if j == q else 3 * j + 1)
+        for addr, value in new_wts.items():
+            wts.set(addr, value)
+    else:
+        for state in states:
+            for addr, stamp in state.ts.items():
+                state.ts.set(addr, 3 * _rank(stamps, stamp) + 1)
+
+    # Line 19: the counter restarts above every stamp just assigned.
+    return 3 * len(stamps) + 3

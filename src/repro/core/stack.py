@@ -1,0 +1,117 @@
+"""Shadow run-time stacks.
+
+Each traced thread ``t`` owns a shadow stack ``S_t`` mirroring its call
+stack.  Stack entry ``S_t[i]`` stores, for the ``i``-th pending routine
+activation (Section 4.2 of the paper):
+
+* ``rtn``  — the routine identifier;
+* ``ts``   — the activation timestamp (value of the global counter when
+  the routine was entered);
+* ``cost`` — the thread cost counter snapshot taken at entry, so the
+  inclusive cost of the activation is ``thread_cost_now - cost`` at
+  return time;
+* ``partial`` — the *partial* (t)rms of the activation, maintained so
+  that Invariant 2 holds: the true (t)rms of pending activation ``i`` is
+  ``sum(S_t[j].partial for j in range(i, top+1))``.
+
+The stack also carries the increment-only partial counters that this
+reproduction adds for input attribution (thread-induced and external
+induced first-accesses); they obey the same suffix-sum invariant, but
+never receive the ancestor decrement (an induced access is new input to
+every pending ancestor).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["StackEntry", "ShadowStack"]
+
+
+class StackEntry:
+    """One pending routine activation on a shadow stack."""
+
+    __slots__ = ("rtn", "ts", "cost", "partial", "induced_thread", "induced_external")
+
+    def __init__(self, rtn: str, ts: int, cost: int):
+        self.rtn = rtn
+        self.ts = ts
+        self.cost = cost
+        self.partial = 0
+        self.induced_thread = 0
+        self.induced_external = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StackEntry(rtn={self.rtn!r}, ts={self.ts}, cost={self.cost}, "
+            f"partial={self.partial})"
+        )
+
+
+class ShadowStack:
+    """Shadow stack for one thread, with the binary search of the paper.
+
+    The only non-constant-time operation of the profiling algorithm is
+    locating, for a location last accessed at time ``ts_l``, the deepest
+    pending activation whose timestamp does not exceed ``ts_l`` (line 7
+    of procedure ``read``).  Because activation timestamps are strictly
+    increasing from the bottom to the top of the stack, this is a binary
+    search costing ``O(log depth)``.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: List[StackEntry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    @property
+    def top(self) -> StackEntry:
+        """The topmost pending activation (raises IndexError if empty)."""
+        return self.entries[-1]
+
+    def push(self, rtn: str, ts: int, cost: int) -> StackEntry:
+        entry = StackEntry(rtn, ts, cost)
+        self.entries.append(entry)
+        return entry
+
+    def pop(self) -> StackEntry:
+        return self.entries.pop()
+
+    def parent(self) -> Optional[StackEntry]:
+        """The activation just below the top, or None at the outermost level."""
+        if len(self.entries) >= 2:
+            return self.entries[-2]
+        return None
+
+    def find_latest_not_after(self, ts_value: int) -> Optional[StackEntry]:
+        """Deepest pending activation with ``entry.ts <= ts_value``.
+
+        Returns None when every pending activation started after
+        ``ts_value`` (which can only happen for timestamps predating the
+        bottom-most activation).
+        """
+        entries = self.entries
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid].ts <= ts_value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return None
+        return entries[lo - 1]
+
+    def suffix_partial_sum(self, index: int) -> int:
+        """``sum of partials from index to the top`` — Invariant 2 helper.
+
+        Used only by tests that check Invariant 2 directly; the algorithm
+        itself never needs the explicit sum.
+        """
+        return sum(entry.partial for entry in self.entries[index:])

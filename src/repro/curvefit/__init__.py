@@ -1,0 +1,23 @@
+"""Empirical cost-function fitting for input-sensitive profiles."""
+
+from .bounds import RatioVerdict, empirical_bound, ratio_test
+from .fitting import FitResult, PowerLawFit, fit, fit_power_law
+from .models import DEFAULT_FAMILY, Model, model_by_name
+from .selection import Selection, classify_growth, rank_models, select_model
+
+__all__ = [
+    "RatioVerdict",
+    "empirical_bound",
+    "ratio_test",
+    "FitResult",
+    "PowerLawFit",
+    "fit",
+    "fit_power_law",
+    "DEFAULT_FAMILY",
+    "Model",
+    "model_by_name",
+    "Selection",
+    "classify_growth",
+    "rank_models",
+    "select_model",
+]

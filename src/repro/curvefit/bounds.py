@@ -1,0 +1,102 @@
+"""Empirical asymptotic bound testing (the guess-ratio method).
+
+Least-squares model selection (``selection.py``) picks the family member
+that best *explains* the data; experimental algorithmics (McGeoch et
+al., which the paper builds on for its curve analysis) asks a subtler
+question: is the data **consistent with** a hypothesised bound
+``f(n) = O(g(n))``?
+
+The guess-ratio heuristic answers it from the ratio series
+``r(n) = f(n) / g(n)`` over increasing ``n``:
+
+* if the ratios trend *upward*, ``g`` under-estimates the growth — the
+  bound hypothesis is rejected;
+* if they trend downward toward 0, ``g`` over-estimates (``f = o(g)``);
+* if they flatten to a positive constant, ``g`` is a tight guess
+  (``f = Theta(g)``).
+
+Trend is judged by the normalised slope of the ratio tail (second half
+of the series), which is robust to the small-``n`` transient where
+lower-order terms dominate.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence, Tuple
+
+from .models import DEFAULT_FAMILY, Model
+
+__all__ = ["RatioVerdict", "ratio_test", "empirical_bound", "TREND_TOLERANCE"]
+
+#: |normalised slope| below this counts as "flat"
+TREND_TOLERANCE = 0.15
+
+
+class RatioVerdict(NamedTuple):
+    """Outcome of one guess-ratio test."""
+
+    model: Model
+    #: normalised trend of the ratio tail: (last - first) / mean
+    trend: float
+    #: data consistent with f = O(g)?
+    is_upper_bound: bool
+    #: ratios flat and positive: f = Theta(g)?
+    is_tight: bool
+
+    @property
+    def verdict(self) -> str:
+        if not self.is_upper_bound:
+            return "rejected"
+        return "tight" if self.is_tight else "loose"
+
+
+def _tail_trend(ratios: Sequence[float]) -> float:
+    """Normalised first-to-last change over the tail of the series."""
+    tail = list(ratios[len(ratios) // 2:])
+    if len(tail) < 2:
+        tail = list(ratios)
+    mean = sum(tail) / len(tail)
+    if mean == 0.0:
+        return 0.0
+    return (tail[-1] - tail[0]) / mean
+
+
+def ratio_test(
+    points: Sequence[Tuple[float, float]],
+    model: Model,
+    tolerance: float = TREND_TOLERANCE,
+) -> RatioVerdict:
+    """Test ``cost = O(model)`` against a cost plot.
+
+    Requires at least four points with positive sizes (ratios need a
+    discernible trend); raises ValueError otherwise.
+    """
+    usable = sorted((n, c) for n, c in points if n > 0)
+    if len(usable) < 4:
+        raise ValueError("ratio test needs at least four positive-size points")
+    ratios = [cost / model.basis(float(n)) for n, cost in usable]
+    trend = _tail_trend(ratios)
+    is_upper = trend <= tolerance
+    is_tight = is_upper and trend >= -tolerance and ratios[-1] > 0
+    return RatioVerdict(model, trend, is_upper, is_tight)
+
+
+def empirical_bound(
+    points: Sequence[Tuple[float, float]],
+    family: Optional[Sequence[Model]] = None,
+    tolerance: float = TREND_TOLERANCE,
+) -> RatioVerdict:
+    """The smallest family member that upper-bounds the data.
+
+    Walks the family from slowest- to fastest-growing and returns the
+    first accepted hypothesis; falls back to the fastest-growing member
+    (marked loose/rejected as measured) when nothing is accepted.
+    """
+    family = list(DEFAULT_FAMILY if family is None else family)
+    family.sort(key=lambda model: model.order)
+    last = None
+    for model in family:
+        last = ratio_test(points, model, tolerance)
+        if last.is_upper_bound:
+            return last
+    return last

@@ -1,0 +1,31 @@
+"""Mini relational database — the MySQL case-study substitute."""
+
+from .bufferpool import BufferPool, ChangeBuffer
+from .engine import Database
+from .index import HashIndex
+from .protocol import Protocol, ServerStatus
+from .slap import SlapReport, minislap
+from .sql import CreateIndex, CreateTable, Insert, Select, SqlError, Update, parse
+from .storage import Disk, DiskManager
+from .table import HeapTable
+
+__all__ = [
+    "BufferPool",
+    "ChangeBuffer",
+    "Database",
+    "HashIndex",
+    "Protocol",
+    "ServerStatus",
+    "SlapReport",
+    "minislap",
+    "CreateIndex",
+    "CreateTable",
+    "Insert",
+    "Select",
+    "Update",
+    "SqlError",
+    "parse",
+    "Disk",
+    "DiskManager",
+    "HeapTable",
+]

@@ -1,0 +1,74 @@
+"""Hash indexes: point lookups instead of full scans.
+
+A :class:`HashIndex` maps one column's values to row indices through
+tracked cells, so the profiler sees exactly what an index buys: an
+indexed equality SELECT reads a bucket plus the matching rows (input
+size ~ matches) where a scan reads the whole table (input size ~ rows).
+Input-sensitive profiles make that asymptotic difference visible as two
+different cost functions for the same query text.
+
+Consistency model: indexes are maintained eagerly on ``insert`` and
+``update_cell`` (the logical, pre-flush state).  Scanning statements
+drain the change buffer before reading (see ``Database.execute``), so
+index-guided reads observe the same rows a scan would.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..pytrace.api import TraceSession, traced
+from ..pytrace.cells import TrackedDict
+from ..pytrace.sync import TracedLock
+
+__all__ = ["HashIndex"]
+
+
+class HashIndex:
+    """Equality index over one column of a heap table."""
+
+    def __init__(self, session: TraceSession, table_name: str, column: str,
+                 column_index: int):
+        self.session = session
+        self.table_name = table_name
+        self.column = column
+        self.column_index = column_index
+        #: column value -> tuple of row indices (tuples keep the bucket
+        #: cell's value immutable, so every maintenance is one write)
+        self._buckets = TrackedDict(session)
+        self.lock = TracedLock(session, f"index:{table_name}.{column}")
+        self.lookups = 0
+        self.maintenances = 0
+
+    @traced
+    def index_insert(self, value: int, row_index: int) -> None:
+        """Register a new row under ``value``."""
+        with self.lock:
+            bucket = self._buckets.get(value, ())
+            self._buckets[value] = bucket + (row_index,)
+        self.maintenances += 1
+
+    @traced
+    def index_update(self, old_value: int, new_value: int, row_index: int) -> None:
+        """Move a row from one bucket to another."""
+        if old_value == new_value:
+            return
+        with self.lock:
+            bucket = self._buckets.get(old_value, ())
+            remaining = tuple(r for r in bucket if r != row_index)
+            if remaining:
+                self._buckets[old_value] = remaining
+            elif old_value in self._buckets:
+                del self._buckets[old_value]
+        self.index_insert(new_value, row_index)
+        self.maintenances += 1
+
+    @traced
+    def index_lookup(self, value: int) -> List[int]:
+        """Row indices whose column equals ``value`` (sorted)."""
+        self.lookups += 1
+        with self.lock:
+            return sorted(self._buckets.get(value, ()))
+
+    def __len__(self) -> int:
+        return sum(len(self._buckets.get(key, ())) for key in self._buckets.keys())

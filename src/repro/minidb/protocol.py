@@ -1,0 +1,92 @@
+"""Wire protocol: result rows and EOF packets to a per-client sink.
+
+``send_row`` marshals a row into a reused packet buffer and drains it to
+the "network" (a kernel read of the packet cells — an external write in
+the paper's mapping).  ``send_eof`` closes the result set: it stamps the
+packet with *server-wide status counters* that every client connection
+updates under a lock, so its input mixes a little of every other
+thread's activity — the workload-characterisation routine of Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..pytrace.api import TraceSession, traced
+from ..pytrace.cells import TrackedArray
+from ..pytrace.sync import TracedLock
+
+__all__ = ["ServerStatus", "Protocol"]
+
+
+class ServerStatus:
+    """Global status counters shared by every connection."""
+
+    CELLS = 4  # queries, rows_sent, eofs, errors
+
+    def __init__(self, session: TraceSession):
+        self.session = session
+        self.counters = TrackedArray(session, self.CELLS)
+        self.lock = TracedLock(session, "server-status")
+
+    def bump(self, index: int, amount: int = 1) -> None:
+        with self.lock:
+            self.counters[index] = self.counters[index] + amount
+
+    def read_all(self) -> List[int]:
+        with self.lock:
+            return [self.counters[index] for index in range(self.CELLS)]
+
+
+class Protocol:
+    """One connection's half of the wire protocol."""
+
+    #: packet buffer cells (reused for every row — rows wider than this
+    #: are rejected at the engine layer)
+    PACKET_CELLS = 8
+
+    def __init__(self, session: TraceSession, status: ServerStatus):
+        self.session = session
+        self.status = status
+        self.packet = TrackedArray(session, self.PACKET_CELLS)
+        #: everything drained to the client ("the network")
+        self.sent: List[int] = []
+        self.rows_sent = 0
+        self.eofs_sent = 0
+
+    @traced
+    def send_row(self, row: List[int]) -> None:
+        """Marshal ``row`` into the packet buffer and send it."""
+        for index, value in enumerate(row):
+            self.packet[index] = value
+        words = self.session.kernel_drain(self.packet, 0, len(row))
+        self.sent.extend(words)
+        self.rows_sent += 1
+        self.status.bump(1)
+
+    @traced
+    def send_eof(self) -> None:
+        """Send the end-of-result packet, stamped with server status.
+
+        Like the real server, the status flags are re-checked *after*
+        the network write (warnings raised meanwhile must reach the
+        client): the second read of each counter another connection
+        bumped during our I/O is an induced first-access, so this
+        routine's trms varies with concurrent activity while its rms is
+        pinned at the packet-plus-status constant — the Figure 8 effect.
+        """
+        import time
+
+        snapshot = self.status.read_all()       # thread-induced input
+        for index, value in enumerate(snapshot):
+            self.packet[index] = value
+        words = self.session.kernel_drain(self.packet, 0, len(snapshot))
+        time.sleep(0)                           # the network round trip
+        final = self.status.read_all()          # re-check: varying induced
+        if final[3] != snapshot[3]:             # errors raised meanwhile
+            self.packet[0] = final[3]
+            words = list(words)
+            words[0] = final[3]
+        self.sent.extend(words)
+        self.eofs_sent += 1
+        self.status.bump(2)

@@ -1,0 +1,114 @@
+"""minislap: the mysqlslap-style load generator.
+
+The paper's MySQL experiments drive the server with mysqlslap — 50
+concurrent clients submitting ~1000 auto-generated queries.  minislap
+does the scaled-down equivalent: each client thread opens a connection
+(a :class:`~repro.minidb.protocol.Protocol`) and submits a mixed
+INSERT/SELECT stream against shared tables while the background flusher
+drains the change buffer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..pytrace.api import TraceSession, traced
+from ..pytrace.sync import TracedThread
+from .engine import Database
+
+__all__ = ["SlapReport", "minislap"]
+
+
+class SlapReport:
+    """What a minislap run did, for assertions and bench logs."""
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.rows_inserted = 0
+        self.rows_received = 0
+        self.flush_calls = 0
+        self.records_flushed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlapReport(queries={self.queries}, inserted={self.rows_inserted}, "
+            f"received={self.rows_received}, flushes={self.flush_calls})"
+        )
+
+
+@traced
+def client_session(database: Database, client_id: int, queries: int,
+                   insert_ratio: float, seed: int, report: SlapReport,
+                   report_lock) -> None:
+    """One client connection: a mixed stream of INSERTs and SELECTs."""
+    rng = random.Random(seed)
+    protocol = database.new_protocol()
+    inserted = 0
+    received = 0
+    for index in range(queries):
+        if rng.random() < insert_ratio:
+            a = rng.randrange(0, 50)
+            b = rng.randrange(0, 50)
+            database.execute(f"INSERT INTO load_test VALUES ({a}, {b})")
+            inserted += 1
+        else:
+            op = rng.choice(["<", ">", "="])
+            pivot = rng.randrange(0, 50)
+            rows = database.execute(
+                f"SELECT * FROM load_test WHERE a {op} {pivot}", protocol
+            )
+            received += len(rows)
+    with report_lock:
+        report.queries += queries
+        report.rows_inserted += inserted
+        report.rows_received += received
+
+
+def minislap(
+    session: TraceSession,
+    database: Optional[Database] = None,
+    clients: int = 4,
+    queries_per_client: int = 12,
+    insert_ratio: float = 0.5,
+    preload_rows: int = 16,
+    seed: int = 101,
+) -> SlapReport:
+    """Run the load: returns a :class:`SlapReport`.
+
+    Must be called inside an active session ``with`` block.  Creates the
+    ``load_test`` table (two integer columns) unless ``database`` already
+    has it, preloads ``preload_rows`` rows, runs ``clients`` concurrent
+    client threads, then stops the flusher and drains everything.
+    """
+    import threading
+
+    database = database or Database(session)
+    if "load_test" not in database.tables:
+        database.execute("CREATE TABLE load_test (a, b)")
+    rng = random.Random(seed)
+    database.start_flusher()
+    for _ in range(preload_rows):
+        database.execute(
+            f"INSERT INTO load_test VALUES ({rng.randrange(50)}, {rng.randrange(50)})"
+        )
+
+    report = SlapReport()
+    report_lock = threading.Lock()
+    threads: List[TracedThread] = []
+    for client_id in range(clients):
+        thread = TracedThread(
+            session,
+            client_session,
+            args=(database, client_id, queries_per_client, insert_ratio,
+                  seed + client_id, report, report_lock),
+            name=f"client-{client_id}",
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    database.stop_flusher()
+    report.flush_calls = database.change_buffer.flush_calls
+    report.records_flushed = database.change_buffer.records_flushed
+    return report

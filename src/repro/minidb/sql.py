@@ -1,0 +1,147 @@
+"""A tiny SQL subset: enough surface for the mysqlslap-style workload.
+
+Grammar (case-insensitive keywords, integer literals only)::
+
+    CREATE TABLE name (col, col, ...)
+    INSERT INTO name VALUES (int, int, ...)
+    SELECT * FROM name [WHERE colname <op> int]     op in {=, <, >, <=, >=, !=}
+    UPDATE name SET colname = int [WHERE colname <op> int]
+    CREATE INDEX ON name (colname)
+
+The parser produces small statement objects consumed by the engine.
+Column names are positional aliases: the WHERE clause resolves a name to
+its index in the CREATE statement's column list.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Union
+
+__all__ = ["SqlError", "CreateIndex", "CreateTable", "Insert", "Select", "Update", "parse"]
+
+
+class SqlError(ValueError):
+    """Raised on any malformed statement."""
+
+
+class CreateIndex(NamedTuple):
+    table: str
+    column: str
+
+
+class CreateTable(NamedTuple):
+    table: str
+    columns: List[str]
+
+
+class Insert(NamedTuple):
+    table: str
+    values: List[int]
+
+
+class Select(NamedTuple):
+    table: str
+    where_column: Optional[str]
+    where_op: Optional[str]
+    where_value: Optional[int]
+
+
+class Update(NamedTuple):
+    table: str
+    set_column: str
+    set_value: int
+    where_column: Optional[str]
+    where_op: Optional[str]
+    where_value: Optional[int]
+
+
+_CREATE_INDEX_RE = re.compile(
+    r"^\s*create\s+index\s+on\s+(\w+)\s*\(\s*(\w+)\s*\)\s*;?\s*$",
+    re.IGNORECASE,
+)
+_CREATE_RE = re.compile(
+    r"^\s*create\s+table\s+(\w+)\s*\(\s*([\w\s,]+?)\s*\)\s*;?\s*$", re.IGNORECASE
+)
+_INSERT_RE = re.compile(
+    r"^\s*insert\s+into\s+(\w+)\s+values\s*\(\s*([-\d\s,]+?)\s*\)\s*;?\s*$",
+    re.IGNORECASE,
+)
+_UPDATE_RE = re.compile(
+    r"^\s*update\s+(\w+)\s+set\s+(\w+)\s*=\s*(-?\d+)"
+    r"(?:\s+where\s+(\w+)\s*(=|<=|>=|!=|<|>)\s*(-?\d+))?\s*;?\s*$",
+    re.IGNORECASE,
+)
+_SELECT_RE = re.compile(
+    r"^\s*select\s+\*\s+from\s+(\w+)"
+    r"(?:\s+where\s+(\w+)\s*(=|<=|>=|!=|<|>)\s*(-?\d+))?\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+Statement = Union[CreateIndex, CreateTable, Insert, Select, Update]
+
+
+def parse(sql: str) -> Statement:
+    """Parse one statement; raises :class:`SqlError` on anything else."""
+    match = _CREATE_INDEX_RE.match(sql)
+    if match:
+        return CreateIndex(match.group(1), match.group(2))
+
+    match = _CREATE_RE.match(sql)
+    if match:
+        columns = [token.strip() for token in match.group(2).split(",")]
+        if not columns or any(not column for column in columns):
+            raise SqlError(f"bad column list in: {sql!r}")
+        if len(set(columns)) != len(columns):
+            raise SqlError(f"duplicate column names in: {sql!r}")
+        return CreateTable(match.group(1), columns)
+
+    match = _INSERT_RE.match(sql)
+    if match:
+        try:
+            values = [int(token.strip()) for token in match.group(2).split(",")]
+        except ValueError:
+            raise SqlError(f"bad value list in: {sql!r}") from None
+        return Insert(match.group(1), values)
+
+    match = _UPDATE_RE.match(sql)
+    if match:
+        table, set_column, set_value, column, op, literal = match.groups()
+        return Update(
+            table,
+            set_column,
+            int(set_value),
+            column,
+            op,
+            int(literal) if literal is not None else None,
+        )
+
+    match = _SELECT_RE.match(sql)
+    if match:
+        table, column, op, literal = match.groups()
+        return Select(
+            table,
+            column,
+            op,
+            int(literal) if literal is not None else None,
+        )
+
+    raise SqlError(f"cannot parse statement: {sql!r}")
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def evaluate(op: str, left: int, right: int) -> bool:
+    """Evaluate a WHERE comparison."""
+    try:
+        return _OPS[op](left, right)
+    except KeyError:
+        raise SqlError(f"unknown operator {op!r}") from None

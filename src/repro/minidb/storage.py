@@ -1,0 +1,65 @@
+"""Disk model: pages living outside the traced address space.
+
+The database's persistent state is "the external world": reading a page
+into a buffer-pool frame is a kernel buffer fill (one ``kernelWrite``
+trace event per cell), and writing data out is a kernel read of the
+sending thread's memory — exactly how the paper maps Linux I/O syscalls
+to trace events (Section 5).  The page store itself is plain Python
+data; the profiler never sees it, only the transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..pytrace.api import TraceSession
+
+__all__ = ["Disk", "DiskManager"]
+
+
+class Disk:
+    """A sparse page store: page id → list of ``page_size`` words."""
+
+    def __init__(self, page_size: int = 8):
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self._pages: Dict[int, List[int]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def page(self, page_id: int) -> List[int]:
+        page = self._pages.get(page_id)
+        if page is None:
+            page = [0] * self.page_size
+            self._pages[page_id] = page
+        return page
+
+    def page_count(self) -> int:
+        return len(self._pages)
+
+
+class DiskManager:
+    """Moves pages between the disk and tracked memory via the kernel."""
+
+    def __init__(self, session: TraceSession, disk: Disk):
+        self.session = session
+        self.disk = disk
+
+    def read_page(self, page_id: int, frame, frame_offset: int) -> None:
+        """Fill ``frame[frame_offset:...]`` with the page (kernel fill)."""
+        self.disk.reads += 1
+        self.session.kernel_fill(frame, frame_offset, self.disk.page(page_id))
+
+    def write_page(self, page_id: int, frame, frame_offset: int) -> None:
+        """Write the frame's copy back to disk (kernel reads the frame)."""
+        self.disk.writes += 1
+        words = self.session.kernel_drain(frame, frame_offset, self.disk.page_size)
+        self.disk._pages[page_id] = list(words)
+
+    def patch_page(self, page_id: int, offset: int, values: Sequence[int]) -> None:
+        """Apply already-drained words to a page (no further events)."""
+        page = self.disk.page(page_id)
+        for index, value in enumerate(values):
+            page[offset + index] = value
+        self.disk.writes += 1

@@ -1,0 +1,20 @@
+"""Pure-Python tracing substrate: profile real Python code."""
+
+from .api import TraceSession, current_session, traced
+from .autotrace import AutoTracer, default_include
+from .cells import TrackedArray, TrackedDict, TrackedList
+from .sync import TracedLock, TracedThread, spawn
+
+__all__ = [
+    "AutoTracer",
+    "default_include",
+    "TraceSession",
+    "current_session",
+    "traced",
+    "TrackedArray",
+    "TrackedDict",
+    "TrackedList",
+    "TracedLock",
+    "TracedThread",
+    "spawn",
+]

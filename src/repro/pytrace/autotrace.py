@@ -1,0 +1,113 @@
+"""Automatic call/return tracing through ``sys.setprofile``.
+
+The ``@traced`` decorator is explicit and cheap, but instrumenting a
+large codebase by hand is tedious.  :class:`AutoTracer` hooks CPython's
+profiling callback instead: every Python-level call and return inside
+the ``with`` block is forwarded to the session, filtered so that only
+*application* frames count — the profiler's own machinery, the standard
+library and installed packages stay invisible, like Valgrind tools that
+skip their own code.
+
+Per-thread call depth is tracked explicitly, so enabling the tracer in
+the middle of a call stack never unbalances the shadow stacks: returns
+of frames whose calls predate the tracer are ignored.
+
+Usage::
+
+    session = TraceSession(tools=EventBus([RmsProfiler()]))
+    with session, AutoTracer(session):
+        my_unmodified_function(data)     # calls/returns traced
+
+Threads started *inside* the block are hooked too (via
+``threading.setprofile``); data accesses still need tracked containers —
+CPython exposes calls, not loads and stores.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import sysconfig
+import threading
+from typing import Callable, List, Optional
+
+from .api import TraceSession
+
+__all__ = ["AutoTracer", "default_include"]
+
+_REPRO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_STDLIB = sysconfig.get_paths().get("stdlib", "")
+_EXCLUDED_PREFIXES = tuple(
+    prefix for prefix in (_REPRO_ROOT, _STDLIB) if prefix
+) + ("<",)  # "<string>", "<frozen ...>" and friends
+_EXCLUDED_PARTS = ("site-packages", "dist-packages")
+
+
+def default_include(code) -> bool:
+    """Default frame filter: application code only.
+
+    Excludes this package, the standard library, installed packages and
+    synthetic filenames — everything a user profiling *their* program
+    would not want in the call tree.
+    """
+    filename = code.co_filename
+    if filename.startswith(_EXCLUDED_PREFIXES):
+        return False
+    return not any(part in filename for part in _EXCLUDED_PARTS)
+
+
+class AutoTracer:
+    """Context manager installing the profile hook for a session.
+
+    Args:
+        session: the active :class:`TraceSession` to feed.
+        include: predicate on code objects; defaults to
+            :func:`default_include`.  Only matching frames produce
+            call/return events (non-matching frames are transparent:
+            their callees still get traced).
+    """
+
+    def __init__(self, session: TraceSession,
+                 include: Optional[Callable] = None):
+        self.session = session
+        self.include = include or default_include
+        self._stacks = threading.local()
+        self._previous_profile = None
+
+    # -- hook plumbing ---------------------------------------------------------
+
+    def _stack(self) -> List[bool]:
+        stack = getattr(self._stacks, "frames", None)
+        if stack is None:
+            stack = []
+            self._stacks.frames = stack
+        return stack
+
+    def _hook(self, frame, event: str, arg) -> None:
+        if event == "call":
+            matched = self.include(frame.f_code)
+            self._stack().append(matched)
+            if matched:
+                self.session._enter_routine(frame.f_code.co_name)
+        elif event == "return":
+            stack = self._stack()
+            if not stack:
+                return   # the call predates the tracer: ignore
+            if stack.pop():
+                self.session._exit_routine()
+        # c_call / c_return / exceptions: invisible, like the VM's ALU ops
+
+    def __enter__(self) -> "AutoTracer":
+        self._previous_profile = sys.getprofile()
+        threading.setprofile(self._hook)
+        sys.setprofile(self._hook)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        sys.setprofile(self._previous_profile)
+        threading.setprofile(None)
+        # unwind anything the hook opened and never saw return
+        stack = getattr(self._stacks, "frames", None)
+        while stack:
+            if stack.pop():
+                self.session._exit_routine()

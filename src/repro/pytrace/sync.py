@@ -1,0 +1,88 @@
+"""Thread and lock wrappers that report synchronization to the session.
+
+These are thin veneers over :mod:`threading` that emit the
+create/join/acquire/release hints the helgrind comparator (and any
+future happens-before analysis) consumes.  The profilers themselves
+ignore synchronization events — the TRMS algorithm needs none.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from .api import TraceSession, current_session
+
+__all__ = ["TracedThread", "TracedLock", "spawn"]
+
+
+class TracedThread(threading.Thread):
+    """A thread whose creation and join are reported to ``session``.
+
+    The session reference is captured at construction (the spawning
+    thread's active session), so the child emits into the same stream.
+    """
+
+    def __init__(self, session: TraceSession, target: Callable, args=(), kwargs=None,
+                 name: Optional[str] = None):
+        self._session = session
+        self._target_fn = target
+        self._target_args = args
+        self._target_kwargs = kwargs or {}
+        #: profiling id, reserved before start (OS idents are recycled)
+        self.tid = session.reserve_thread_id()
+        super().__init__(name=name, daemon=True)
+
+    def run(self) -> None:  # pragma: no cover - exercised via start()
+        self._session.bind_current_thread(self.tid)
+        self._target_fn(*self._target_args, **self._target_kwargs)
+
+    def start(self) -> None:
+        self._session.thread_created(self.tid)
+        super().start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        super().join(timeout)
+        if not self.is_alive():
+            self._session.thread_joined(self.tid)
+
+
+def spawn(target: Callable, *args, session: Optional[TraceSession] = None) -> TracedThread:
+    """Start a :class:`TracedThread` in the given (or current) session."""
+    session = session or current_session()
+    if session is None:
+        raise RuntimeError("spawn() requires an active TraceSession")
+    thread = TracedThread(session, target, args)
+    thread.start()
+    return thread
+
+
+class TracedLock:
+    """A mutex that reports acquire/release to the session."""
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, session: TraceSession, name: Optional[str] = None):
+        self.session = session
+        self._lock = threading.Lock()
+        if name is None:
+            with TracedLock._counter_lock:
+                TracedLock._counter += 1
+                name = f"pylock-{TracedLock._counter}"
+        self.name = name
+
+    def acquire(self) -> None:
+        self._lock.acquire()
+        self.session.lock_acquired(self.name)
+
+    def release(self) -> None:
+        self.session.lock_released(self.name)
+        self._lock.release()
+
+    def __enter__(self) -> "TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()

@@ -1,0 +1,105 @@
+"""Terminal rendering: scatter plots, tables and bar charts.
+
+The benchmarks regenerate the paper's figures as data series; these
+helpers draw them as ASCII so ``pytest benchmarks/ -s`` output is
+readable on its own.  Rendering is intentionally dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["scatter", "table", "bars"]
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return str(int(value))
+
+
+def scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "input size",
+    ylabel: str = "cost",
+    marker: str = "*",
+) -> str:
+    """Render ``(x, y)`` points as an ASCII scatter plot."""
+    if not points:
+        return f"{title}\n(no points)\n"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _format_number(y_max)
+    bottom_label = _format_number(y_min)
+    label_width = max(len(top_label), len(bottom_label))
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(label_width)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_left = _format_number(x_min)
+    x_right = _format_number(x_max)
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_width + 2) + x_left + " " * max(padding, 1) + x_right
+    )
+    lines.append(" " * (label_width + 2) + f"x: {xlabel}   y: {ylabel}")
+    return "\n".join(lines) + "\n"
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render a padded text table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def bars(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars (used for the Figure 17 histogram)."""
+    if not items:
+        return f"{title}\n(no data)\n"
+    label_width = max(len(label) for label, _ in items)
+    peak = max(value for _, value in items) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        bar = "#" * max(0, int(value / peak * width))
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:.1f}{unit}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,117 @@
+"""Asymptotic bottleneck ranking — the "so what" layer of the profiler.
+
+Input-sensitive profiles exist so developers can find the routine that
+will blow up *first* as inputs grow, which is not the routine with the
+biggest cost today.  This module fits every routine's worst-case cost
+plot against the model family and ranks routines by how badly they
+scale: growth class first, then the predicted cost at an extrapolated
+input size.
+
+A routine with a handful of points cannot be fitted meaningfully, so
+profiles below ``min_points`` are skipped (and reported as such).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..core.profile_data import ProfileDatabase
+from ..curvefit.selection import Selection, select_model
+from .ascii_charts import table
+
+__all__ = ["Bottleneck", "rank_bottlenecks", "render_bottlenecks"]
+
+
+class Bottleneck(NamedTuple):
+    """One routine's scaling diagnosis."""
+
+    routine: str
+    growth: str
+    r2: float
+    points: int
+    max_size: int
+    cost_at_max: float
+    #: predicted cost if the input grew 10x past the largest observed size
+    projected_cost: float
+
+    @property
+    def projection_ratio(self) -> float:
+        """How much worse 10x input is predicted to be."""
+        if self.cost_at_max <= 0:
+            return 0.0
+        return self.projected_cost / self.cost_at_max
+
+
+def rank_bottlenecks(
+    db: ProfileDatabase,
+    min_points: int = 4,
+    extrapolate: float = 10.0,
+) -> List[Bottleneck]:
+    """Rank routines by asymptotic badness (worst first).
+
+    Args:
+        db: a profile database (routine- or context-keyed).
+        min_points: minimum distinct input sizes for a fit to count.
+        extrapolate: input-size multiplier used for the projection.
+    """
+    results: List[Bottleneck] = []
+    for routine, profile in db.merged().items():
+        points = profile.worst_case_points()
+        if len(points) < min_points:
+            continue
+        selection: Selection = select_model(points)
+        max_size = points[-1][0]
+        cost_at_max = float(points[-1][1])
+        projected = selection.best.predict(max_size * extrapolate)
+        results.append(Bottleneck(
+            routine=routine,
+            growth=selection.name,
+            r2=selection.best.r2,
+            points=len(points),
+            max_size=max_size,
+            cost_at_max=cost_at_max,
+            projected_cost=projected,
+        ))
+    results.sort(key=lambda item: (-item.best_order(), -item.projected_cost))
+    return results
+
+
+def _order_of(growth: str) -> int:
+    from ..curvefit.models import DEFAULT_FAMILY
+
+    for model in DEFAULT_FAMILY:
+        if model.name == growth:
+            return model.order
+    return -1
+
+
+# attach the order lookup without polluting the NamedTuple definition
+def _best_order(self: Bottleneck) -> int:
+    return _order_of(self.growth)
+
+
+Bottleneck.best_order = _best_order
+
+
+def render_bottlenecks(db: ProfileDatabase, min_points: int = 4,
+                       limit: Optional[int] = 10) -> str:
+    """Human-readable bottleneck ranking."""
+    ranked = rank_bottlenecks(db, min_points=min_points)
+    if limit is not None:
+        ranked = ranked[:limit]
+    rows = [
+        [
+            item.routine,
+            item.growth,
+            f"{item.r2:.3f}",
+            item.points,
+            item.max_size,
+            f"{item.projection_ratio:.1f}x",
+        ]
+        for item in ranked
+    ]
+    return table(
+        ["routine", "growth", "R^2", "points", "max input", "cost at 10x input"],
+        rows,
+        title="Asymptotic bottleneck ranking (worst scaling first)",
+    )

@@ -1,0 +1,121 @@
+"""Profile diffing: find asymptotic regressions between two runs.
+
+The pay-off of cost *functions* over cost *numbers*: two profiles of
+different program versions (or configurations) can be compared where it
+matters — does any routine now **scale worse**?  A routine that got 20%
+slower everywhere is a constant-factor regression; a routine whose
+growth class moved from O(n) to O(n^2) is a time bomb that a flat
+profile diff at today's input sizes would miss entirely.
+
+:func:`diff_databases` classifies each routine:
+
+* ``regressed`` / ``improved`` — the fitted growth class changed rank;
+* ``slower`` / ``faster`` — same class, but the predicted cost at the
+  common largest input moved beyond a tolerance;
+* ``unchanged`` — same class, comparable constants;
+* ``added`` / ``removed`` — only one side has (fittable) data.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..core.profile_data import ProfileDatabase
+from ..curvefit.models import model_by_name
+from ..curvefit.selection import select_model
+from .ascii_charts import table
+
+__all__ = ["ProfileDiff", "diff_databases", "render_diff"]
+
+
+class ProfileDiff(NamedTuple):
+    """One routine's before/after comparison."""
+
+    routine: str
+    verdict: str          # regressed | improved | slower | faster | unchanged | added | removed
+    old_growth: Optional[str]
+    new_growth: Optional[str]
+    #: new predicted cost / old predicted cost at the common largest size
+    cost_ratio: Optional[float]
+
+
+def _fit(db: ProfileDatabase, routine: str, min_points: int):
+    profile = db.merged().get(routine)
+    if profile is None:
+        return None, None
+    points = profile.worst_case_points()
+    if len(points) < min_points:
+        return None, points
+    return select_model(points), points
+
+
+def diff_databases(
+    old_db: ProfileDatabase,
+    new_db: ProfileDatabase,
+    min_points: int = 4,
+    tolerance: float = 1.30,
+) -> List[ProfileDiff]:
+    """Compare two databases routine by routine (worst diffs first).
+
+    ``tolerance`` is the cost ratio beyond which a same-class routine
+    counts as slower/faster.
+    """
+    routines = sorted(set(old_db.routines()) | set(new_db.routines()))
+    diffs: List[ProfileDiff] = []
+    for routine in routines:
+        old_selection, old_points = _fit(old_db, routine, min_points)
+        new_selection, new_points = _fit(new_db, routine, min_points)
+        if old_selection is None and new_selection is None:
+            continue
+        if old_selection is None:
+            diffs.append(ProfileDiff(routine, "added", None,
+                                     new_selection.name, None))
+            continue
+        if new_selection is None:
+            diffs.append(ProfileDiff(routine, "removed",
+                                     old_selection.name, None, None))
+            continue
+        common_max = min(old_points[-1][0], new_points[-1][0])
+        old_cost = max(old_selection.best.predict(common_max), 1e-9)
+        new_cost = max(new_selection.best.predict(common_max), 0.0)
+        ratio = new_cost / old_cost
+        old_order = model_by_name(old_selection.name).order
+        new_order = model_by_name(new_selection.name).order
+        if new_order > old_order:
+            verdict = "regressed"
+        elif new_order < old_order:
+            verdict = "improved"
+        elif ratio > tolerance:
+            verdict = "slower"
+        elif ratio < 1.0 / tolerance:
+            verdict = "faster"
+        else:
+            verdict = "unchanged"
+        diffs.append(ProfileDiff(routine, verdict, old_selection.name,
+                                 new_selection.name, ratio))
+
+    severity = {"regressed": 0, "slower": 1, "added": 2, "removed": 3,
+                "unchanged": 4, "faster": 5, "improved": 6}
+    diffs.sort(key=lambda diff: (severity[diff.verdict],
+                                 -(diff.cost_ratio or 0.0)))
+    return diffs
+
+
+def render_diff(old_db: ProfileDatabase, new_db: ProfileDatabase,
+                min_points: int = 4) -> str:
+    """Human-readable regression report."""
+    diffs = diff_databases(old_db, new_db, min_points=min_points)
+    rows = [
+        [
+            diff.routine,
+            diff.verdict,
+            diff.old_growth or "-",
+            diff.new_growth or "-",
+            f"{diff.cost_ratio:.2f}x" if diff.cost_ratio is not None else "-",
+        ]
+        for diff in diffs
+    ]
+    return table(
+        ["routine", "verdict", "old growth", "new growth", "cost ratio"],
+        rows, title="Profile diff (worst first)",
+    )

@@ -1,0 +1,78 @@
+"""Figure-series builders: from profile databases to the paper's charts.
+
+Each function computes the data series behind one family of evaluation
+figures; the benchmark harness prints and asserts on these series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.metrics import (
+    induced_split,
+    induced_split_by_routine,
+    input_volume_by_routine,
+    richness_by_routine,
+    tail_curve,
+)
+from ..core.profile_data import ProfileDatabase
+
+__all__ = [
+    "worst_case_series",
+    "richness_curve",
+    "volume_curve",
+    "induced_breakdown",
+    "thread_input_curve",
+    "external_input_curve",
+]
+
+
+def worst_case_series(
+    db: ProfileDatabase, routine: str
+) -> List[Tuple[int, int]]:
+    """Worst-case cost plot of ``routine`` over all threads (Figs. 4–6)."""
+    profile = db.merged().get(routine)
+    if profile is None:
+        return []
+    return profile.worst_case_points()
+
+
+def richness_curve(
+    rms_db: ProfileDatabase, trms_db: ProfileDatabase
+) -> List[Tuple[float, float]]:
+    """Figure 15: tail curve of per-routine profile richness."""
+    richness = richness_by_routine(rms_db, trms_db)
+    return tail_curve(list(richness.values()))
+
+
+def volume_curve(
+    rms_db: ProfileDatabase, trms_db: ProfileDatabase
+) -> List[Tuple[float, float]]:
+    """Figure 16: tail curve of per-routine input volume."""
+    volumes = input_volume_by_routine(rms_db, trms_db)
+    return tail_curve(list(volumes.values()))
+
+
+def induced_breakdown(
+    databases: Dict[str, ProfileDatabase]
+) -> List[Tuple[str, float, float]]:
+    """Figure 17: per benchmark ``(name, thread %, external %)``, sorted
+    by decreasing thread-induced share as the paper plots it."""
+    rows = []
+    for name, db in databases.items():
+        thread_pct, external_pct = induced_split(db)
+        rows.append((name, thread_pct, external_pct))
+    rows.sort(key=lambda row: -row[1])
+    return rows
+
+
+def thread_input_curve(trms_db: ProfileDatabase) -> List[Tuple[float, float]]:
+    """Figure 18: tail curve of per-routine thread-induced input %."""
+    split = induced_split_by_routine(trms_db)
+    return tail_curve([thread_pct for thread_pct, _ in split.values()])
+
+
+def external_input_curve(trms_db: ProfileDatabase) -> List[Tuple[float, float]]:
+    """Figure 19: tail curve of per-routine external input %."""
+    split = induced_split_by_routine(trms_db)
+    return tail_curve([external_pct for _, external_pct in split.values()])

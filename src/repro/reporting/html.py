@@ -1,0 +1,153 @@
+"""Self-contained HTML reports with inline SVG cost plots.
+
+``aprof`` ships its profiles to a GUI; this reproduction renders a
+single HTML file instead — no external assets, no JavaScript — with:
+
+* the session summary (threads, routines, induced-input split);
+* the per-routine table (calls, plot points, input, worst cost,
+  induced share);
+* an SVG worst-case cost plot for each of the top routines by cost;
+* the asymptotic bottleneck ranking.
+
+Everything text-based stays escaping-safe via :func:`html.escape`.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import List, Sequence, Tuple
+
+from ..core.metrics import induced_split
+from ..core.profile_data import ProfileDatabase, RoutineProfile
+from .bottlenecks import rank_bottlenecks
+from .report import routine_summary
+
+__all__ = ["render_html_report", "svg_scatter"]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #bbb; padding: 0.3em 0.7em; text-align: right; }
+th { background: #eee; } td:first-child, th:first-child { text-align: left; }
+.plots { display: flex; flex-wrap: wrap; gap: 1.2em; }
+figure { margin: 0; } figcaption { font-size: 0.85em; text-align: center; }
+.meta { color: #555; }
+"""
+
+
+def svg_scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 320,
+    height: int = 200,
+    color: str = "#2266aa",
+) -> str:
+    """Render ``(x, y)`` points as a standalone ``<svg>`` element."""
+    if not points:
+        return f'<svg width="{width}" height="{height}"></svg>'
+    pad = 34
+    xs = [float(p[0]) for p in points]
+    ys = [float(p[1]) for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    def sx(x: float) -> float:
+        return pad + (x - x_min) / x_span * (width - 2 * pad)
+
+    def sy(y: float) -> float:
+        return height - pad - (y - y_min) / y_span * (height - 2 * pad)
+
+    circles = "".join(
+        f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" fill="{color}"/>'
+        for x, y in points
+    )
+    axes = (
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="#888"/>'
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{height - pad}" stroke="#888"/>'
+    )
+    labels = (
+        f'<text x="{pad}" y="{height - 8}" font-size="10">{x_min:g}</text>'
+        f'<text x="{width - pad}" y="{height - 8}" font-size="10" '
+        f'text-anchor="end">{x_max:g}</text>'
+        f'<text x="{pad - 4}" y="{height - pad}" font-size="10" '
+        f'text-anchor="end">{y_min:g}</text>'
+        f'<text x="{pad - 4}" y="{pad + 4}" font-size="10" '
+        f'text-anchor="end">{y_max:g}</text>'
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg">{axes}{circles}{labels}</svg>'
+    )
+
+
+def _summary_table(profiles: List[RoutineProfile]) -> str:
+    headers = ["routine", "thread", "calls", "points", "input", "worst", "induced"]
+    head = "".join(f"<th>{escape(h)}</th>" for h in headers)
+    body = []
+    for profile in profiles:
+        cells = "".join(
+            f"<td>{escape(str(value))}</td>" for value in routine_summary(profile)
+        )
+        body.append(f"<tr>{cells}</tr>")
+    return f"<table><tr>{head}</tr>{''.join(body)}</table>"
+
+
+def _bottleneck_table(db: ProfileDatabase, limit: int) -> str:
+    ranked = rank_bottlenecks(db)[:limit]
+    if not ranked:
+        return "<p class='meta'>Not enough plot points for any fit.</p>"
+    head = "".join(
+        f"<th>{escape(h)}</th>"
+        for h in ["routine", "growth", "R²", "points", "cost at 10× input"]
+    )
+    rows = []
+    for item in ranked:
+        rows.append(
+            "<tr>"
+            f"<td>{escape(item.routine)}</td><td>{escape(item.growth)}</td>"
+            f"<td>{item.r2:.3f}</td><td>{item.points}</td>"
+            f"<td>{item.projection_ratio:.1f}×</td></tr>"
+        )
+    return f"<table><tr>{head}</tr>{''.join(rows)}</table>"
+
+
+def render_html_report(
+    db: ProfileDatabase,
+    title: str = "input-sensitive profile",
+    metric: str = "trms",
+    plot_limit: int = 8,
+) -> str:
+    """The full report as one HTML document string."""
+    merged = sorted(db.merged().values(), key=lambda p: -p.cost_sum)
+    thread_pct, external_pct = induced_split(db)
+
+    figures = []
+    for profile in merged[:plot_limit]:
+        points = profile.worst_case_points()
+        if len(points) < 2:
+            continue
+        figures.append(
+            "<figure>"
+            + svg_scatter(points)
+            + f"<figcaption>{escape(profile.routine)} — worst-case cost vs "
+            f"{escape(metric)} ({len(points)} points)</figcaption></figure>"
+        )
+
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{escape(title)}</title>
+<style>{_STYLE}</style></head><body>
+<h1>{escape(title)}</h1>
+<p class="meta">{len(db.routines())} routines over {len(db.threads())} threads
+&middot; induced input split: {thread_pct:.1f}% thread / {external_pct:.1f}% external
+&middot; metric: {escape(metric)}</p>
+<h2>Routines (by total cost)</h2>
+{_summary_table(merged)}
+<h2>Worst-case cost plots</h2>
+<div class="plots">{''.join(figures) or "<p class='meta'>No multi-point routines.</p>"}</div>
+<h2>Asymptotic bottleneck ranking</h2>
+{_bottleneck_table(db, plot_limit)}
+</body></html>
+"""

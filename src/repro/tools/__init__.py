@@ -1,0 +1,66 @@
+"""Comparator analysis tools sharing the profilers' event bus.
+
+``make_tool(name)`` builds a fresh instance of any evaluated tool by its
+Table 1 column name: ``nulgrind``, ``memcheck``, ``callgrind``,
+``helgrind``, ``aprof-rms``, ``aprof-trms``.  (``native`` is not a tool:
+the benchmarks express it by running the substrate with ``tools=None``.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.events import TraceConsumer
+from ..core.rms import RmsProfiler
+from ..core.trms import TrmsProfiler
+from .base import AnalysisTool
+from .cachegrind import CacheConfig, Cachegrind, SetAssociativeCache
+from .callgrind import Callgrind
+from .helgrind import Helgrind, Race
+from .memcheck import Memcheck
+from .nulgrind import Nulgrind
+from .sampling import SamplingShim
+
+__all__ = [
+    "AnalysisTool",
+    "CacheConfig",
+    "Cachegrind",
+    "SetAssociativeCache",
+    "Callgrind",
+    "Helgrind",
+    "Race",
+    "Memcheck",
+    "Nulgrind",
+    "SamplingShim",
+    "TOOL_NAMES",
+    "make_tool",
+]
+
+_FACTORIES: Dict[str, Callable[[], TraceConsumer]] = {
+    "nulgrind": Nulgrind,
+    "cachegrind": Cachegrind,
+    "memcheck": Memcheck,
+    "callgrind": Callgrind,
+    "helgrind": Helgrind,
+    "aprof-rms": RmsProfiler,
+    "aprof-trms": TrmsProfiler,
+}
+
+#: evaluated tool names, in the paper's Table 1 column order
+TOOL_NAMES: List[str] = [
+    "nulgrind",
+    "memcheck",
+    "callgrind",
+    "helgrind",
+    "aprof-rms",
+    "aprof-trms",
+]
+
+
+def make_tool(name: str) -> TraceConsumer:
+    """A fresh instance of the tool called ``name`` (see TOOL_NAMES)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown tool {name!r}; known: {sorted(_FACTORIES)}") from None
+    return factory()

@@ -1,0 +1,33 @@
+"""Common base for the comparator analysis tools.
+
+The paper's overhead evaluation (Table 1, Figure 14) compares aprof
+against four other Valgrind tools that share the instrumentation
+substrate but do different per-event analysis work: nulgrind (nothing),
+memcheck (memory state shadowing), callgrind (call-graph profiling) and
+helgrind (happens-before race detection).  This package reimplements
+each tool's *analysis* over the same event bus the profilers consume, so
+the reproduction's overhead comparison has the same structure as the
+paper's: identical event stream, different per-event work.
+"""
+
+from __future__ import annotations
+
+from ..core.events import TraceConsumer
+
+__all__ = ["AnalysisTool"]
+
+
+class AnalysisTool(TraceConsumer):
+    """A comparator analysis tool.
+
+    Beyond the :class:`TraceConsumer` callbacks, tools expose a
+    :meth:`report` with their analysis results (errors found, call graph,
+    races, …) so tests can verify they actually do their job — an
+    overhead comparison against tools that do nothing would be hollow.
+    """
+
+    name = "tool"
+
+    def report(self) -> dict:
+        """Tool-specific analysis results (shape documented per tool)."""
+        return {}

@@ -1,0 +1,92 @@
+"""callgrind: call-graph profiling.
+
+Per the paper, callgrind "instruments function calls/returns, but not
+memory accesses".  This reimplementation builds, per thread:
+
+* the dynamic call graph — (caller, callee) edge counts;
+* inclusive and exclusive basic-block cost per function (inclusive cost
+  of recursive activations is counted once per outermost activation, the
+  standard callgrind convention).
+
+Reads and writes are deliberately not handled, so the tool's per-event
+work matches the real callgrind's profile: call/return/cost only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .base import AnalysisTool
+
+__all__ = ["Callgrind"]
+
+
+class _Frame:
+    __slots__ = ("routine", "cost_at_entry", "exclusive")
+
+    def __init__(self, routine: str, cost_at_entry: int):
+        self.routine = routine
+        self.cost_at_entry = cost_at_entry
+        self.exclusive = 0
+
+
+class Callgrind(AnalysisTool):
+    """Call-graph generating profiler."""
+
+    name = "callgrind"
+
+    def __init__(self) -> None:
+        #: (caller, callee) -> number of calls; caller None = thread entry
+        self.edges: Dict[Tuple[Optional[str], str], int] = {}
+        self.calls: Dict[str, int] = {}
+        self.inclusive: Dict[str, int] = {}
+        self.exclusive: Dict[str, int] = {}
+        self._stacks: Dict[int, List[_Frame]] = {}
+        self._costs: Dict[int, int] = {}
+
+    def on_call(self, thread: int, routine: str) -> None:
+        stack = self._stacks.setdefault(thread, [])
+        self._costs.setdefault(thread, 0)
+        caller = stack[-1].routine if stack else None
+        edge = (caller, routine)
+        self.edges[edge] = self.edges.get(edge, 0) + 1
+        self.calls[routine] = self.calls.get(routine, 0) + 1
+        stack.append(_Frame(routine, self._costs[thread]))
+
+    def on_return(self, thread: int) -> None:
+        stack = self._stacks.get(thread)
+        if not stack:
+            return
+        frame = stack.pop()
+        total = self._costs[thread] - frame.cost_at_entry
+        self.exclusive[frame.routine] = self.exclusive.get(frame.routine, 0) + frame.exclusive
+        # recursive activations: only the outermost adds inclusive cost
+        if all(other.routine != frame.routine for other in stack):
+            self.inclusive[frame.routine] = self.inclusive.get(frame.routine, 0) + total
+
+    def on_cost(self, thread: int, units: int) -> None:
+        self._costs[thread] = self._costs.get(thread, 0) + units
+        stack = self._stacks.get(thread)
+        if stack:
+            stack[-1].exclusive += units
+
+    def on_finish(self) -> None:
+        for thread, stack in self._stacks.items():
+            while stack:
+                self.on_return(thread)
+
+    def top_functions(self, count: int = 10) -> List[Tuple[str, int]]:
+        """Functions with the highest inclusive cost."""
+        ranked = sorted(self.inclusive.items(), key=lambda item: -item[1])
+        return ranked[:count]
+
+    def space_bytes(self) -> int:
+        return 64 * (len(self.edges) + len(self.inclusive))
+
+    def report(self) -> dict:
+        return {
+            "edges": dict(self.edges),
+            "calls": dict(self.calls),
+            "inclusive": dict(self.inclusive),
+            "exclusive": dict(self.exclusive),
+        }

@@ -1,0 +1,169 @@
+"""helgrind: happens-before data-race detection.
+
+The paper uses helgrind as its "tool most akin to ours" comparator: it
+is the only other evaluated tool that analyses concurrency, and it is
+*slower* than aprof-trms.  This reimplementation runs the classic
+vector-clock happens-before algorithm over the same event stream:
+
+* one vector clock per thread, advanced at every release;
+* lock (and semaphore) release/acquire transfer clocks through a per-
+  lock clock, thread create/join through direct joins;
+* per cell, the epoch of the last write and the epochs of reads since
+  then; a read-write or write-write pair unordered by happens-before is
+  a race.
+
+Kernel-mediated accesses are attributed to the issuing thread (a syscall
+executes in program order for its thread).  Each racy address is
+reported once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .base import AnalysisTool
+
+__all__ = ["Helgrind", "Race"]
+
+
+class Race(Tuple):
+    """A detected race: (addr, kind, thread_a, thread_b)."""
+
+    def __new__(cls, addr: int, kind: str, thread_a: int, thread_b: int):
+        return tuple.__new__(cls, (addr, kind, thread_a, thread_b))
+
+    @property
+    def addr(self) -> int:
+        return self[0]
+
+    @property
+    def kind(self) -> str:
+        return self[1]
+
+
+class _CellState:
+    __slots__ = ("write_thread", "write_clock", "write_vc", "reads")
+
+    def __init__(self) -> None:
+        self.write_thread: Optional[int] = None
+        self.write_clock = 0
+        #: full vector clock snapshot of the last write — the classic
+        #: (pre-FastTrack) algorithm helgrind derives from; copying it on
+        #: every write is exactly the cost that makes helgrind the
+        #: heaviest tool of the paper's comparison
+        self.write_vc: Optional[Dict[int, int]] = None
+        #: thread -> clock of its last read since the last write
+        self.reads: Dict[int, int] = {}
+
+
+class Helgrind(AnalysisTool):
+    """Vector-clock happens-before race detector."""
+
+    name = "helgrind"
+
+    def __init__(self) -> None:
+        self._clocks: Dict[int, Dict[int, int]] = {}
+        self._lock_clocks: Dict[object, Dict[int, int]] = {}
+        self._cells: Dict[int, _CellState] = {}
+        self.races: List[Race] = []
+        self._racy_addresses: Set[int] = set()
+
+    # -- vector clock plumbing ---------------------------------------------------
+
+    def _clock(self, thread: int) -> Dict[int, int]:
+        clock = self._clocks.get(thread)
+        if clock is None:
+            clock = {thread: 1}
+            self._clocks[thread] = clock
+        return clock
+
+    @staticmethod
+    def _join(into: Dict[int, int], other: Dict[int, int]) -> None:
+        for tid, value in other.items():
+            if value > into.get(tid, 0):
+                into[tid] = value
+
+    def _happens_before(self, thread: int, clock_value: int, current: Dict[int, int]) -> bool:
+        """Did (thread, clock_value) happen before the current thread's view?"""
+        return clock_value <= current.get(thread, 0)
+
+    # -- synchronization events ------------------------------------------------------
+
+    def on_lock_acquire(self, thread: int, lock_id) -> None:
+        lock_clock = self._lock_clocks.get(lock_id)
+        if lock_clock:
+            self._join(self._clock(thread), lock_clock)
+
+    def on_lock_release(self, thread: int, lock_id) -> None:
+        clock = self._clock(thread)
+        self._lock_clocks[lock_id] = dict(clock)
+        clock[thread] = clock.get(thread, 0) + 1
+
+    def on_thread_create(self, parent: int, child: int) -> None:
+        parent_clock = self._clock(parent)
+        self._join(self._clock(child), parent_clock)
+        parent_clock[parent] = parent_clock.get(parent, 0) + 1
+
+    def on_thread_join(self, parent: int, child: int) -> None:
+        self._join(self._clock(parent), self._clock(child))
+
+    # -- memory events ------------------------------------------------------------------
+
+    def _record_race(self, addr: int, kind: str, thread_a: int, thread_b: int) -> None:
+        if addr not in self._racy_addresses:
+            self._racy_addresses.add(addr)
+            self.races.append(Race(addr, kind, thread_a, thread_b))
+
+    def on_read(self, thread: int, addr: int) -> None:
+        cell = self._cells.get(addr)
+        if cell is None:
+            cell = _CellState()
+            self._cells[addr] = cell
+        clock = self._clock(thread)
+        if (
+            cell.write_thread is not None
+            and cell.write_thread != thread
+            and not self._happens_before(cell.write_thread, cell.write_clock, clock)
+        ):
+            self._record_race(addr, "read-after-write", cell.write_thread, thread)
+        cell.reads[thread] = clock.get(thread, 0)
+
+    def on_write(self, thread: int, addr: int) -> None:
+        cell = self._cells.get(addr)
+        if cell is None:
+            cell = _CellState()
+            self._cells[addr] = cell
+        clock = self._clock(thread)
+        if (
+            cell.write_thread is not None
+            and cell.write_thread != thread
+            and not self._happens_before(cell.write_thread, cell.write_clock, clock)
+        ):
+            self._record_race(addr, "write-after-write", cell.write_thread, thread)
+        for reader, read_clock in cell.reads.items():
+            if reader != thread and not self._happens_before(reader, read_clock, clock):
+                self._record_race(addr, "write-after-read", reader, thread)
+        cell.write_thread = thread
+        cell.write_clock = clock.get(thread, 0)
+        cell.write_vc = dict(clock)
+        cell.reads = {}
+
+    def on_kernel_read(self, thread: int, addr: int) -> None:
+        self.on_read(thread, addr)
+
+    def on_kernel_write(self, thread: int, addr: int) -> None:
+        self.on_write(thread, addr)
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def space_bytes(self) -> int:
+        cell_bytes = sum(
+            24 + 8 * len(cell.reads) + 8 * len(cell.write_vc or ())
+            for cell in self._cells.values()
+        )
+        clock_bytes = sum(8 * len(clock) for clock in self._clocks.values())
+        lock_bytes = sum(8 * len(clock) for clock in self._lock_clocks.values())
+        return cell_bytes + clock_bytes + lock_bytes
+
+    def report(self) -> dict:
+        return {"races": list(self.races)}

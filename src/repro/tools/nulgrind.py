@@ -1,0 +1,31 @@
+"""nulgrind: the do-nothing tool.
+
+Valgrind's nulgrind performs no analysis and exists to measure the cost
+of the instrumentation substrate itself.  Faithfully, every per-event
+handler here is the inherited no-op — the tool pays method dispatch and
+nothing else, so the overhead benchmarks can report "substrate only"
+numbers to divide by, exactly as the paper normalises its slowdowns
+against nulgrind.  A routine-activation counter (one increment per call,
+a negligible fraction of the event stream) proves the tool was attached.
+"""
+
+from __future__ import annotations
+
+from .base import AnalysisTool
+
+__all__ = ["Nulgrind"]
+
+
+class Nulgrind(AnalysisTool):
+    """Observes the stream; analyses nothing."""
+
+    name = "nulgrind"
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def on_call(self, thread, routine):
+        self.events += 1
+
+    def report(self) -> dict:
+        return {"events": self.events}

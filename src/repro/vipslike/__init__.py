@@ -1,0 +1,5 @@
+"""vips-like image pipeline — the PARSEC vips case-study substitute."""
+
+from .pipeline import SLOT_CELLS, vips_pipeline
+
+__all__ = ["SLOT_CELLS", "vips_pipeline"]

@@ -1,0 +1,30 @@
+"""Tracing virtual machine — the reproduction's Valgrind substitute."""
+
+from . import programs
+from .assembler import AsmError, Function, Program, assemble
+from .disasm import disassemble, disassemble_function
+from .isa import Ins, NUM_REGISTERS, SIGNATURES
+from .machine import DeadlockError, Machine, RunStats, VMError
+from .programs import Scenario
+from .syscalls import DeviceError, InputDevice, OutputDevice
+
+__all__ = [
+    "programs",
+    "AsmError",
+    "Function",
+    "Program",
+    "assemble",
+    "disassemble",
+    "disassemble_function",
+    "Ins",
+    "NUM_REGISTERS",
+    "SIGNATURES",
+    "DeadlockError",
+    "Machine",
+    "RunStats",
+    "VMError",
+    "Scenario",
+    "DeviceError",
+    "InputDevice",
+    "OutputDevice",
+]

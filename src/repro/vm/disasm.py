@@ -1,0 +1,65 @@
+"""Disassembler: executable :class:`Program` back to assembly text.
+
+Useful for debugging generated kernels (most suite programs are built
+from f-string templates) and for reports.  The output reassembles to an
+equivalent program — same opcodes, operands and control flow, with
+synthesised ``L<n>`` labels — which the round-trip property test pins
+down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .assembler import Function, Program
+from .isa import IMM, LABEL, REG, SIGNATURES
+
+__all__ = ["disassemble", "disassemble_function"]
+
+
+def _operand_text(value, kind: str, labels: Dict[int, str]) -> str:
+    if kind == REG:
+        return f"r{value}"
+    if kind == IMM:
+        return str(value)
+    if kind == LABEL:
+        return labels[value]
+    return str(value)
+
+
+def disassemble_function(function: Function) -> str:
+    """Render one function as assembly text."""
+    # synthesise labels for every branch target
+    targets = sorted({
+        operand
+        for ins in function.instructions
+        for operand, kind in zip((ins.a, ins.b, ins.c, ins.d), SIGNATURES[ins.op])
+        if kind == LABEL
+    })
+    labels = {index: f"L{position}" for position, index in enumerate(targets)}
+
+    lines = [f"func {function.name}:"]
+    for index, ins in enumerate(function.instructions):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        operands = [
+            _operand_text(operand, kind, labels)
+            for operand, kind in zip((ins.a, ins.b, ins.c, ins.d), SIGNATURES[ins.op])
+        ]
+        if operands:
+            lines.append(f"    {ins.op} " + ", ".join(operands))
+        else:
+            lines.append(f"    {ins.op}")
+    # a label may point one past the last instruction (implicit return)
+    end = len(function.instructions)
+    if end in labels:
+        lines.append(f"{labels[end]}:")
+    return "\n".join(lines)
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program, entry function first."""
+    names = [program.entry] + sorted(
+        name for name in program.functions if name != program.entry
+    )
+    return "\n".join(disassemble_function(program.functions[name]) for name in names) + "\n"

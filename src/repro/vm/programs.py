@@ -1,0 +1,804 @@
+"""Library of guest programs: the paper's examples plus algorithm kernels.
+
+Each builder returns a :class:`Scenario` bundling assembly text, device
+contents and preloaded memory.  Scenarios cover:
+
+* the paper's synthetic examples — Figure 1a/1b (thread-induced input),
+  Figure 2 (producer–consumer), Figure 3 (buffered external reads);
+* algorithm kernels with known asymptotics (insertion sort, binary
+  search, linear scans, matrix multiply) for the growth-rate
+  experiments of the PLDI 2012 evaluation;
+* synchronization scenarios (races, locked counters) exercised by the
+  helgrind comparator tests.
+
+Memory preloaded through ``pokes`` is genuine *input*: the guest never
+wrote it, so its first reads count toward rms/trms — exactly like a
+process reading its pre-initialised data segment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.events import TraceConsumer, iter_consumers
+from .assembler import Program, assemble
+from .machine import Machine
+from .syscalls import InputDevice
+
+__all__ = [
+    "Scenario",
+    "figure_1a",
+    "figure_1b",
+    "producer_consumer",
+    "buffered_read",
+    "insertion_sort",
+    "merge_sort",
+    "binary_search",
+    "sum_array",
+    "matmul",
+    "hash_table",
+    "parallel_sum",
+    "racy_increment",
+    "locked_increment",
+]
+
+#: base address where scenario arrays are preloaded
+DATA_BASE = 0x1000
+
+
+class Scenario:
+    """A runnable guest program with its environment."""
+
+    def __init__(
+        self,
+        name: str,
+        asm: str,
+        pokes: Sequence[Tuple[int, Sequence[int]]] = (),
+        device_factory: Optional[Callable[[], Dict[str, object]]] = None,
+        check: Optional[Callable[[Machine], None]] = None,
+    ):
+        self.name = name
+        self.asm = asm
+        self.program: Program = assemble(asm)
+        self.pokes = list(pokes)
+        self.device_factory = device_factory
+        self.check = check
+
+    def machine(self, tools: Optional[TraceConsumer] = None, **kwargs) -> Machine:
+        """A fresh machine for this scenario (reusable across runs)."""
+        devices = self.device_factory() if self.device_factory else {}
+        machine = Machine(self.program, tools=tools, devices=devices, **kwargs)
+        for base, values in self.pokes:
+            machine.poke(base, values)
+            # preloaded data is initialised by definition: tell any
+            # memory-state tool so it does not flag the first reads
+            for consumer in iter_consumers(tools):
+                mark = getattr(consumer, "mark_defined", None)
+                if mark is not None:
+                    mark(base, len(values))
+        return machine
+
+    def run(self, tools: Optional[TraceConsumer] = None, **kwargs) -> Machine:
+        """Run on a fresh machine, verify ``check`` if any, return it."""
+        machine = self.machine(tools=tools, **kwargs)
+        machine.run()
+        if self.check is not None:
+            self.check(machine)
+        return machine
+
+
+def figure_1a() -> Scenario:
+    """Figure 1a: f reads x, g (other thread) overwrites x, f reads again.
+
+    Expected: rms_f = 1, trms_f = 2 (one induced first-access).
+    """
+    asm = """
+    func main:
+        spawn r10, g_thread, r0
+        call f
+        join r10
+        ret
+    func f:
+        const r1, 100
+        load r2, r1, 0       ; read(x): first access
+        semup s1
+        semdown s2
+        load r3, r1, 0       ; read(x): induced first-access
+        ret
+    func g_thread:
+        call g
+        ret
+    func g:
+        semdown s1
+        const r1, 100
+        const r2, 7
+        store r1, 0, r2      ; write(x) from the other thread
+        semup s2
+        ret
+    """
+    return Scenario("figure_1a", asm, pokes=[(100, [42])])
+
+
+def figure_1b() -> Scenario:
+    """Figure 1b: the second read happens in a child routine h.
+
+    Expected: trms_h = 1 (induced), trms_f = 2 — f's third read is NOT
+    induced because f already accessed x through its descendant h.
+    """
+    asm = """
+    func main:
+        spawn r10, g_thread, r0
+        call f
+        join r10
+        ret
+    func f:
+        const r1, 100
+        load r2, r1, 0       ; first access
+        semup s1
+        semdown s2
+        call h
+        load r3, r1, 0       ; not induced: f saw x via h already
+        ret
+    func h:
+        const r1, 100
+        load r2, r1, 0       ; induced first-access
+        ret
+    func g_thread:
+        semdown s1
+        const r1, 100
+        const r2, 7
+        store r1, 0, r2
+        semup s2
+        ret
+    """
+    return Scenario("figure_1b", asm, pokes=[(100, [42])])
+
+
+def producer_consumer(items: int = 32) -> Scenario:
+    """Figure 2: the classical semaphore producer–consumer over one cell.
+
+    Expected: rms_consumer = 1 while trms_consumer = ``items``.
+    """
+    asm = f"""
+    func main:
+        semup empty              ; one-slot buffer starts empty
+        const r1, {items}
+        spawn r10, producer, r1
+        spawn r11, consumer, r1
+        join r10
+        join r11
+        ret
+    func producer:               ; r0 = items to produce
+        mov r9, r0
+        const r13, 0
+    ploop:
+        ble r9, r13, pdone
+        semdown empty
+        call produceData
+        semup full
+        addi r9, r9, -1
+        jmp ploop
+    pdone:
+        ret
+    func produceData:
+        const r1, 500
+        addi r8, r8, 1           ; next value (thread-local counter)
+        store r1, 0, r8          ; write(x)
+        ret
+    func consumer:               ; r0 = items to consume
+        mov r9, r0
+        const r13, 0
+    cloop:
+        ble r9, r13, cdone
+        semdown full
+        call consumeData
+        semup empty
+        addi r9, r9, -1
+        jmp cloop
+    cdone:
+        ret
+    func consumeData:
+        const r1, 500
+        load r2, r1, 0           ; read(x): always an induced first-access
+        add r7, r7, r2           ; running total (kept in registers)
+        ret
+    """
+    return Scenario(f"producer_consumer[{items}]", asm)
+
+
+def buffered_read(iterations: int = 16) -> Scenario:
+    """Figure 3: 2*n words stream in through a 2-cell buffer; only b[0]
+    is processed each iteration.
+
+    Expected: rms_externalRead = 1, trms_externalRead = ``iterations``
+    (all external input).
+    """
+    asm = f"""
+    func main:
+        const r0, {iterations}
+        call externalRead
+        ret
+    func externalRead:           ; r0 = iterations
+        mov r9, r0
+        alloci r1, 2             ; buffer b
+        const r13, 0
+    loop:
+        ble r9, r13, done
+        const r2, 2
+        sysread r3, r1, r2, disk ; OS fills b[0], b[1]
+        load r4, r1, 0           ; process(b[0]) only
+        add r7, r7, r4
+        addi r9, r9, -1
+        jmp loop
+    done:
+        ret
+    """
+    values = list(range(1, 2 * iterations + 1))
+    return Scenario(
+        f"buffered_read[{iterations}]",
+        asm,
+        device_factory=lambda: {"disk": InputDevice(values)},
+    )
+
+
+_SORT_ASM = """
+func insertion_sort:        ; r0 = base, r1 = n
+    const r14, 0
+    const r2, 1             ; i = 1
+outer:
+    bge r2, r1, done
+    add r3, r0, r2
+    load r4, r3, 0          ; key = a[i]
+    mov r5, r2              ; j = i
+inner:
+    ble r5, r14, place
+    add r6, r0, r5
+    load r7, r6, -1         ; a[j-1]
+    ble r7, r4, place
+    store r6, 0, r7         ; a[j] = a[j-1]
+    addi r5, r5, -1
+    jmp inner
+place:
+    add r6, r0, r5
+    store r6, 0, r4
+    addi r2, r2, 1
+    jmp outer
+done:
+    ret
+"""
+
+
+def insertion_sort(values: Sequence[int]) -> Scenario:
+    """Sort a preloaded array in place: O(n^2) worst-case cost, rms = n."""
+    n = len(values)
+    asm = f"""
+    func main:
+        const r0, {DATA_BASE}
+        const r1, {n}
+        call insertion_sort
+        ret
+    {_SORT_ASM}
+    """
+
+    def check(machine: Machine) -> None:
+        result = machine.memory_block(DATA_BASE, n)
+        assert result == sorted(values), result
+
+    return Scenario(f"insertion_sort[{n}]", asm, pokes=[(DATA_BASE, values)], check=check)
+
+
+def binary_search(values: Sequence[int], target: int) -> Scenario:
+    """Search a sorted preloaded array: O(log n) cost and rms."""
+    ordered = sorted(values)
+    n = len(ordered)
+    asm = f"""
+    func main:
+        const r0, {DATA_BASE}
+        const r1, {n}
+        const r2, {target}
+        call binary_search
+        const r9, {DATA_BASE - 1}
+        store r9, 0, r0          ; result index -> cell DATA_BASE-1
+        ret
+    func binary_search:          ; r0 = base, r1 = n, r2 = target
+        const r3, 0              ; lo
+        mov r4, r1               ; hi
+    loop:
+        bge r3, r4, notfound
+        add r5, r3, r4
+        const r6, 2
+        div r5, r5, r6           ; mid
+        add r7, r0, r5
+        load r8, r7, 0
+        beq r8, r2, found
+        blt r8, r2, right
+        mov r4, r5
+        jmp loop
+    right:
+        addi r3, r5, 1
+        jmp loop
+    found:
+        mov r0, r5
+        ret
+    notfound:
+        const r0, -1
+        ret
+    """
+
+    def check(machine: Machine) -> None:
+        index = machine.memory.get(DATA_BASE - 1, 0)
+        if target in ordered:
+            assert ordered[index] == target
+        else:
+            assert index == -1
+
+    return Scenario(
+        f"binary_search[{n}]", asm, pokes=[(DATA_BASE, ordered)], check=check
+    )
+
+
+def sum_array(values: Sequence[int]) -> Scenario:
+    """Linear scan over a preloaded array: O(n) cost, rms = n."""
+    n = len(values)
+    asm = f"""
+    func main:
+        const r0, {DATA_BASE}
+        const r1, {n}
+        call sum_array
+        const r9, {DATA_BASE - 1}
+        store r9, 0, r0
+        ret
+    func sum_array:              ; r0 = base, r1 = n -> r0 = sum
+        const r2, 0
+        const r3, 0
+    loop:
+        bge r2, r1, done
+        add r4, r0, r2
+        load r5, r4, 0
+        add r3, r3, r5
+        addi r2, r2, 1
+        jmp loop
+    done:
+        mov r0, r3
+        ret
+    """
+
+    def check(machine: Machine) -> None:
+        assert machine.memory.get(DATA_BASE - 1, 0) == sum(values)
+
+    return Scenario(f"sum_array[{n}]", asm, pokes=[(DATA_BASE, values)], check=check)
+
+
+def matmul(n: int, seed: int = 11) -> Scenario:
+    """Dense n*n matrix multiply: O(n^3) cost, rms = 2*n^2 inputs."""
+    rng = random.Random(seed)
+    a = [rng.randrange(0, 10) for _ in range(n * n)]
+    b = [rng.randrange(0, 10) for _ in range(n * n)]
+    a_base = DATA_BASE
+    b_base = DATA_BASE + n * n
+    c_base = DATA_BASE + 2 * n * n
+    asm = f"""
+    func main:
+        const r0, {a_base}
+        const r1, {b_base}
+        const r2, {c_base}
+        const r3, {n}
+        call matmul
+        ret
+    func matmul:                 ; r0 = A, r1 = B, r2 = C, r3 = n
+        const r4, 0              ; i
+    iloop:
+        bge r4, r3, done
+        const r5, 0              ; j
+    jloop:
+        bge r5, r3, inext
+        const r6, 0              ; k
+        const r7, 0              ; acc
+    kloop:
+        bge r6, r3, kdone
+        mul r8, r4, r3
+        add r8, r8, r6
+        add r8, r8, r0
+        load r9, r8, 0           ; A[i][k]
+        mul r10, r6, r3
+        add r10, r10, r5
+        add r10, r10, r1
+        load r11, r10, 0         ; B[k][j]
+        mul r12, r9, r11
+        add r7, r7, r12
+        addi r6, r6, 1
+        jmp kloop
+    kdone:
+        mul r8, r4, r3
+        add r8, r8, r5
+        add r8, r8, r2
+        store r8, 0, r7          ; C[i][j]
+        addi r5, r5, 1
+        jmp jloop
+    inext:
+        addi r4, r4, 1
+        jmp iloop
+    done:
+        ret
+    """
+
+    def check(machine: Machine) -> None:
+        got = machine.memory_block(c_base, n * n)
+        expected = [
+            sum(a[i * n + k] * b[k * n + j] for k in range(n))
+            for i in range(n)
+            for j in range(n)
+        ]
+        assert got == expected
+
+    return Scenario(
+        f"matmul[{n}]",
+        asm,
+        pokes=[(a_base, a), (b_base, b)],
+        check=check,
+    )
+
+
+def _lcg_values(n: int, seed: int) -> List[int]:
+    """The values the in-guest LCG of :func:`parallel_sum` produces."""
+    values = []
+    x = seed
+    for _ in range(n):
+        x = (75 * x + 74) % 65537
+        values.append(x)
+    return values
+
+
+def parallel_sum(workers: int, chunk: int, seed: int = 3) -> Scenario:
+    """OpenMP-style fork/join: each worker sums its slice of a shared
+    array *written by the main thread* — the workers' input is almost
+    entirely thread-induced."""
+    n = workers * chunk
+    values = _lcg_values(n, seed)
+    spawn_lines = "\n".join(
+        f"""
+        const r1, {index}
+        spawn r{4 + index}, worker, r1"""
+        for index in range(workers)
+    )
+    join_lines = "\n".join(f"        join r{4 + index}" for index in range(workers))
+    asm = f"""
+    func main:
+        call fill
+{spawn_lines}
+{join_lines}
+        ret
+    func fill:                   ; main writes the shared array (LCG)
+        const r1, {DATA_BASE}
+        const r2, {n}
+        const r3, 0              ; i
+        const r4, {seed}         ; x
+    floop:
+        bge r3, r2, fdone
+        muli r4, r4, 75
+        addi r4, r4, 74
+        const r5, 65537
+        mod r4, r4, r5
+        add r6, r1, r3
+        store r6, 0, r4
+        addi r3, r3, 1
+        jmp floop
+    fdone:
+        ret
+    func worker:                 ; r0 = worker index
+        muli r1, r0, {chunk}
+        const r2, {DATA_BASE}
+        add r1, r1, r2           ; slice base
+        const r2, {chunk}
+        call sum_slice
+        const r9, {DATA_BASE - 8}
+        add r9, r9, r0
+        store r9, 0, r3          ; publish partial sum (distinct cells)
+        ret
+    func sum_slice:              ; r1 = base, r2 = count -> r3 = sum
+        const r3, 0
+        const r4, 0
+    loop:
+        bge r4, r2, done
+        add r5, r1, r4
+        load r6, r5, 0
+        add r3, r3, r6
+        addi r4, r4, 1
+        jmp loop
+    done:
+        ret
+    """
+
+    def check(machine: Machine) -> None:
+        partials = machine.memory_block(DATA_BASE - 8, workers)
+        assert sum(partials) == sum(values)
+
+    return Scenario(
+        f"parallel_sum[{workers}x{chunk}]",
+        asm,
+        check=check,
+    )
+
+
+def racy_increment(threads: int = 2, rounds: int = 5) -> Scenario:
+    """Unsynchronised read-modify-write on one shared cell: a data race
+    the helgrind comparator must flag."""
+    spawn_lines = "\n".join(
+        f"""
+        spawn r{4 + index}, bump, r0"""
+        for index in range(threads)
+    )
+    join_lines = "\n".join(f"        join r{4 + index}" for index in range(threads))
+    asm = f"""
+    func main:
+{spawn_lines}
+{join_lines}
+        ret
+    func bump:
+        const r9, {rounds}
+        const r13, 0
+        const r1, 600
+    loop:
+        ble r9, r13, done
+        load r2, r1, 0
+        addi r2, r2, 1
+        store r1, 0, r2          ; racy store
+        yield
+        addi r9, r9, -1
+        jmp loop
+    done:
+        ret
+    """
+    return Scenario(f"racy_increment[{threads}x{rounds}]", asm)
+
+
+def locked_increment(threads: int = 2, rounds: int = 5) -> Scenario:
+    """The same counter protected by a mutex: race-free, and the final
+    value is exact."""
+    spawn_lines = "\n".join(
+        f"""
+        spawn r{4 + index}, bump, r0"""
+        for index in range(threads)
+    )
+    join_lines = "\n".join(f"        join r{4 + index}" for index in range(threads))
+    asm = f"""
+    func main:
+{spawn_lines}
+{join_lines}
+        ret
+    func bump:
+        const r9, {rounds}
+        const r13, 0
+        const r1, 600
+    loop:
+        ble r9, r13, done
+        lock m
+        load r2, r1, 0
+        addi r2, r2, 1
+        store r1, 0, r2
+        unlock m
+        yield
+        addi r9, r9, -1
+        jmp loop
+    done:
+        ret
+    """
+
+    def check(machine: Machine) -> None:
+        assert machine.memory.get(600, 0) == threads * rounds
+
+    return Scenario(f"locked_increment[{threads}x{rounds}]", asm, check=check)
+
+
+def merge_sort(values: Sequence[int]) -> Scenario:
+    """Bottom-up merge sort through a scratch buffer: O(n log n) cost,
+    rms = n (the scratch area is written before it is read, so it never
+    counts as input)."""
+    n = len(values)
+    scratch = DATA_BASE + 0x4000
+    asm = f"""
+    func main:
+        const r0, {DATA_BASE}
+        const r1, {n}
+        call merge_sort
+        ret
+    func merge_sort:            ; r0 = base, r1 = n
+        const r2, 1             ; run width
+    wloop:
+        bge r2, r1, done
+        const r3, 0             ; lo
+    ploop:
+        bge r3, r1, pdone
+        add r4, r3, r2          ; mid = min(lo + width, n)
+        ble r4, r1, m1
+        mov r4, r1
+    m1:
+        add r5, r4, r2          ; hi = min(mid + width, n)
+        ble r5, r1, m2
+        mov r5, r1
+    m2:
+        mov r6, r3              ; i (left cursor)
+        mov r7, r4              ; j (right cursor)
+        mov r8, r3              ; k (output cursor)
+    mloop:
+        bge r8, r5, mdone
+        bge r6, r4, right
+        bge r7, r5, left
+        add r9, r0, r6
+        load r10, r9, 0
+        add r9, r0, r7
+        load r11, r9, 0
+        ble r10, r11, left
+    right:
+        add r9, r0, r7
+        load r12, r9, 0
+        addi r7, r7, 1
+        jmp put
+    left:
+        add r9, r0, r6
+        load r12, r9, 0
+        addi r6, r6, 1
+    put:
+        const r9, {scratch}
+        add r9, r9, r8
+        store r9, 0, r12
+        addi r8, r8, 1
+        jmp mloop
+    mdone:
+        mov r8, r3              ; copy the merged run back
+    cloop:
+        bge r8, r5, cdone
+        const r9, {scratch}
+        add r9, r9, r8
+        load r12, r9, 0
+        add r9, r0, r8
+        store r9, 0, r12
+        addi r8, r8, 1
+        jmp cloop
+    cdone:
+        add r3, r3, r2          ; lo += 2 * width
+        add r3, r3, r2
+        jmp ploop
+    pdone:
+        add r2, r2, r2          ; width *= 2
+        jmp wloop
+    done:
+        ret
+    """
+
+    def check(machine: Machine) -> None:
+        result = machine.memory_block(DATA_BASE, n)
+        assert result == sorted(values), result
+
+    return Scenario(f"merge_sort[{n}]", asm, pokes=[(DATA_BASE, values)], check=check)
+
+
+def hash_table(inserts: int, initial_capacity: int = 8, seed: int = 77) -> Scenario:
+    """Open-addressing hash table with doubling rehash.
+
+    The input-sensitive showcase for *amortised* complexity: most
+    ``ht_insert`` activations probe a couple of cells, but the ones that
+    trigger a rehash re-read the whole table — so the worst-case cost
+    plot spikes at the doubling sizes while the average plot stays flat,
+    exactly the max-vs-average reading the 2012 paper's plots support.
+
+    Layout: cell 0 of the table region holds [capacity], cell 1 [count],
+    cell 2 [table base]; slots store key+1 (0 = empty).  Keys come from
+    an in-guest LCG.
+    """
+    header = DATA_BASE
+    asm = f"""
+    func main:
+        alloci r1, {initial_capacity}
+        const r2, {header}
+        const r3, {initial_capacity}
+        store r2, 0, r3          ; capacity
+        const r3, 0
+        store r2, 1, r3          ; count
+        store r2, 2, r1          ; table base
+        const r13, 0
+        const r6, {initial_capacity}
+        const r4, 0              ; zero the fresh table (memset, as real
+    zloop:                       ; code must: malloc memory is undefined)
+        bge r4, r6, zdone
+        add r5, r1, r4
+        store r5, 0, r13
+        addi r4, r4, 1
+        jmp zloop
+    zdone:
+        const r9, {inserts}
+        const r13, 0
+        const r11, {seed}
+    mloop:
+        ble r9, r13, mdone
+        muli r11, r11, 75
+        addi r11, r11, 74
+        const r4, 65537
+        mod r11, r11, r4
+        mov r0, r11              ; key
+        call ht_insert
+        addi r9, r9, -1
+        jmp mloop
+    mdone:
+        ret
+    func ht_insert:              ; r0 = key
+        const r1, {header}
+        load r2, r1, 0           ; capacity
+        load r3, r1, 1           ; count
+        ; rehash when count * 2 >= capacity
+        add r4, r3, r3
+        blt r4, r2, insert
+        call ht_grow
+        const r1, {header}
+        load r2, r1, 0           ; reload capacity
+        load r3, r1, 1
+    insert:
+        load r5, r1, 2           ; table base
+        mod r6, r0, r2           ; slot
+        const r13, 0
+    probe:
+        add r7, r5, r6
+        load r8, r7, 0
+        beq r8, r13, place       ; empty slot
+        addi r6, r6, 1
+        mod r6, r6, r2           ; linear probing, wraps
+        jmp probe
+    place:
+        addi r8, r0, 1           ; store key+1 (0 means empty)
+        store r7, 0, r8
+        addi r3, r3, 1
+        store r1, 1, r3          ; count += 1
+        ret
+    func ht_grow:                ; double capacity, reinsert every key
+        const r1, {header}
+        load r2, r1, 0           ; old capacity
+        load r5, r1, 2           ; old base
+        add r3, r2, r2           ; new capacity
+        alloc r4, r3             ; new table
+        store r1, 0, r3
+        store r1, 2, r4
+        const r13, 0
+        const r6, 0              ; memset the new table
+    gzloop:
+        bge r6, r3, gzdone
+        add r7, r4, r6
+        store r7, 0, r13
+        addi r6, r6, 1
+        jmp gzloop
+    gzdone:
+        const r6, 0              ; old slot cursor
+    gloop:
+        bge r6, r2, gdone
+        add r7, r5, r6
+        load r8, r7, 0           ; old slot (reads the WHOLE table)
+        beq r8, r13, gnext
+        addi r8, r8, -1          ; stored key
+        mod r12, r8, r3          ; new slot
+    gprobe:
+        add r10, r4, r12
+        load r14, r10, 0
+        beq r14, r13, gplace
+        addi r12, r12, 1
+        mod r12, r12, r3
+        jmp gprobe
+    gplace:
+        addi r14, r8, 1
+        store r10, 0, r14
+    gnext:
+        addi r6, r6, 1
+        jmp gloop
+    gdone:
+        free r5                  ; release the old table
+        ret
+    """
+
+    def check(machine: Machine) -> None:
+        capacity = machine.memory[header]
+        count = machine.memory[header + 1]
+        base = machine.memory[header + 2]
+        assert count == inserts, (count, inserts)
+        stored = [v for v in machine.memory_block(base, capacity) if v != 0]
+        assert len(stored) == inserts
+
+    return Scenario(f"hash_table[{inserts}]", asm, check=check)

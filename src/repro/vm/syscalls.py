@@ -1,0 +1,59 @@
+"""Device model: the external world behind the VM's kernel syscalls.
+
+The paper characterises *external input* through the kernel system calls
+that move data between guest memory and the outside (disk, network).
+The VM mirrors that with named devices:
+
+* :class:`InputDevice` — a finite stream of words; ``sysread`` moves up
+  to ``len`` words from the stream into a guest buffer, one
+  ``kernelWrite`` trace event per cell (the OS filling memory);
+* :class:`OutputDevice` — a sink; ``syswrite`` moves a guest buffer out,
+  one ``kernelRead`` event per cell (the OS reading guest memory).
+
+Devices are deliberately dumb: buffering policy, short reads and retry
+loops live in guest code, where the profiler can see them — that is the
+whole point of the Figure 3 / ``mysql_select`` scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["DeviceError", "InputDevice", "OutputDevice"]
+
+
+class DeviceError(RuntimeError):
+    """Raised on syscall access to a missing or wrong-direction device."""
+
+
+class InputDevice:
+    """A finite stream of integer words readable by ``sysread``."""
+
+    def __init__(self, values: Iterable[int]):
+        self.values: List[int] = list(values)
+        self.cursor = 0
+
+    def read(self, count: int) -> List[int]:
+        """Consume and return up to ``count`` words (short reads at EOF)."""
+        if count < 0:
+            raise DeviceError(f"negative read length {count}")
+        chunk = self.values[self.cursor:self.cursor + count]
+        self.cursor += len(chunk)
+        return chunk
+
+    @property
+    def exhausted(self) -> bool:
+        return self.cursor >= len(self.values)
+
+    def remaining(self) -> int:
+        return len(self.values) - self.cursor
+
+
+class OutputDevice:
+    """A sink collecting words written by ``syswrite``."""
+
+    def __init__(self) -> None:
+        self.values: List[int] = []
+
+    def write(self, words: Sequence[int]) -> None:
+        self.values.extend(words)

@@ -1,0 +1,6 @@
+"""Synthetic benchmark suites modelling SPEC OMP2012 and PARSEC."""
+
+from . import kernels
+from .suites import PARSEC, SPEC_OMP, Benchmark, all_benchmarks, benchmark
+
+__all__ = ["kernels", "PARSEC", "SPEC_OMP", "Benchmark", "all_benchmarks", "benchmark"]

@@ -1,0 +1,945 @@
+"""Parameterized guest-program kernels behind the benchmark suites.
+
+The paper evaluates on SPEC OMP2012 and PARSEC — native benchmark suites
+we cannot run under a Python VM.  Following the substitution rule
+(DESIGN.md), each suite entry is modelled by a small data-parallel
+kernel with the *communication and I/O character* of the original:
+compute-bound pairwise interactions for ``md``, streaming stencils for
+``bwaves``/``ilbdc``, device-fed dynamic programming for ``smithwa``,
+a content-chunking thread pipeline for ``dedup``, and so on.  What the
+experiments measure — relative tool overheads, profile richness, the
+split between thread-induced and external input — depends exactly on
+those characters, not on the physics inside the loops.
+
+Execution model: like an OpenMP runtime, the kernels use a *persistent
+thread pool*.  ``main`` initialises shared data and spawns ``threads``
+workers once; each worker runs ``iters`` parallel regions separated by a
+reusable two-turnstile semaphore barrier.  Persistence matters for the
+input-sensitive metrics: a pooled worker re-reads, in iteration ``i+1``,
+cells that other workers rewrote in iteration ``i`` — thread-induced
+input that per-region throwaway threads would never exhibit.  Iteration
+parity drives ping-pong source/destination arrays, so every kernel is
+race-free by construction (helgrind-verified in the tests).
+
+Register contract inside a worker: ``r15`` holds the worker index and
+``r9`` the iteration counter — ``work_region`` bodies read but never
+write them; the barrier clobbers only ``r1``–``r4``.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+from ..vm.programs import Scenario
+from ..vm.syscalls import InputDevice, OutputDevice
+
+__all__ = [
+    "pool_asm",
+    "pairwise_forces",
+    "stencil_sweep",
+    "allgather_sweep",
+    "reduction_kernel",
+    "task_loop",
+    "gather_scatter",
+    "dp_matrix",
+    "monte_carlo",
+    "thread_pipeline",
+    "tree_build",
+    "device_filter",
+]
+
+#: shared memory layout used by every kernel
+BARRIER_CELL = 0x0F00    # arrival counter of the reusable barrier
+TID_BASE = 0x0F10        # spawned thread ids (main-private scratch)
+OUT_BASE = 0x0F40        # per-worker result cells
+SRC_BASE = 0x10000       # primary shared array
+DST_BASE = 0x40000       # secondary shared array (ping-pong partner)
+AUX_BASE = 0x70000       # auxiliary data (indices, sequences, ...)
+
+
+def _barrier_funcs(threads: int) -> str:
+    """A reusable counting barrier (two turnstiles, Semaphore-book style)."""
+    return f"""
+    func barrier:
+        lock bl
+        const r1, {BARRIER_CELL}
+        load r2, r1, 0
+        addi r2, r2, 1
+        store r1, 0, r2
+        const r3, {threads}
+        blt r2, r3, bwait1
+        const r4, 0
+    brel1:
+        bge r4, r3, bwait1
+        semup ts1
+        addi r4, r4, 1
+        jmp brel1
+    bwait1:
+        unlock bl
+        semdown ts1
+        lock bl
+        const r1, {BARRIER_CELL}
+        load r2, r1, 0
+        addi r2, r2, -1
+        store r1, 0, r2
+        const r3, 0
+        bgt r2, r3, bwait2
+        const r4, 0
+        const r3, {threads}
+    brel2:
+        bge r4, r3, bwait2
+        semup ts2
+        addi r4, r4, 1
+        jmp brel2
+    bwait2:
+        unlock bl
+        semdown ts2
+        ret
+    """
+
+
+def pool_asm(threads: int, iters: int, work_funcs: str, fill_func: str) -> str:
+    """The persistent-pool skeleton around one ``work_region`` function."""
+    needs_barrier = threads > 1 and iters > 1
+    barrier_call = "        call barrier\n" if needs_barrier else ""
+    barrier_funcs = _barrier_funcs(threads) if needs_barrier else ""
+    return f"""
+    func main:
+        call fill
+        const r2, 0
+        const r3, {threads}
+    sloop:
+        bge r2, r3, sdone
+        spawn r4, worker, r2
+        const r5, {TID_BASE}
+        add r5, r5, r2
+        store r5, 0, r4
+        addi r2, r2, 1
+        jmp sloop
+    sdone:
+        const r2, 0
+    jloop:
+        bge r2, r3, jdone
+        const r5, {TID_BASE}
+        add r5, r5, r2
+        load r4, r5, 0
+        join r4
+        addi r2, r2, 1
+        jmp jloop
+    jdone:
+        ret
+    func worker:                 ; persistent pool member
+        mov r15, r0              ; my index (read-only below)
+        const r9, 0              ; iteration counter (read-only below)
+    wloop:
+        const r1, {iters}
+        bge r9, r1, wexit
+        call work_region
+{barrier_call}        addi r9, r9, 1
+        jmp wloop
+    wexit:
+        ret
+    {fill_func}
+    {work_funcs}
+    {barrier_funcs}
+    """
+
+
+_LCG_FILL = f"""
+    func fill:                   ; main writes SRC with an LCG stream
+        const r1, {SRC_BASE}
+        const r2, %(cells)d
+        const r3, 0
+        const r4, %(seed)d
+    floop:
+        bge r3, r2, fdone
+        muli r4, r4, 75
+        addi r4, r4, 74
+        const r5, 65537
+        mod r4, r4, r5
+        add r6, r1, r3
+        store r6, 0, r4
+        addi r3, r3, 1
+        jmp floop
+    fdone:
+        ret
+"""
+
+
+def _lcg_fill(cells: int, seed: int = 12345) -> str:
+    return _LCG_FILL % {"cells": cells, "seed": seed}
+
+
+_PINGPONG_SELECT = f"""
+        const r1, 2
+        mod r2, r9, r1
+        const r13, 0
+        const r4, {SRC_BASE}
+        const r5, {DST_BASE}
+        beq r2, r13, even
+        mov r6, r5               ; odd iterations: src = DST
+        mov r7, r4
+        jmp go
+    even:
+        mov r6, r4               ; even iterations: src = SRC
+        mov r7, r5
+    go:
+"""
+
+
+def pairwise_forces(threads: int, particles: int, iters: int = 2) -> Scenario:
+    """``md``-like: O(n^2) pairwise interactions over shared positions.
+
+    Each iteration every worker gathers *all* positions (the other
+    strips were updated by other workers in the previous iteration —
+    thread-induced input) and scatters updated positions for its own
+    strip into the ping-pong partner array.
+    """
+    chunk = max(1, particles // threads)
+    work = f"""
+    func work_region:
+{_PINGPONG_SELECT}
+        muli r10, r15, {chunk}   ; my strip [r10, r11)
+        addi r11, r10, {chunk}
+        const r0, {particles}
+        ble r11, r0, bounded
+        mov r11, r0
+    bounded:
+        mov r0, r10              ; my particle cursor
+    oloop:
+        bge r0, r11, odone
+        const r8, 0              ; force accumulator
+        const r12, 0             ; other particle
+    gloop:
+        const r14, {particles}
+        bge r12, r14, gdone
+        add r4, r6, r12
+        load r5, r4, 0           ; position (thread-induced for others')
+        sub r14, r5, r0
+        mul r14, r14, r14
+        add r8, r8, r14
+        addi r12, r12, 1
+        jmp gloop
+    gdone:
+        add r4, r6, r0           ; integrate: new position into dst
+        load r5, r4, 0
+        add r5, r5, r8
+        const r14, 65537
+        mod r5, r5, r14
+        add r4, r7, r0
+        store r4, 0, r5
+        addi r0, r0, 1
+        jmp oloop
+    odone:
+        const r4, {OUT_BASE}
+        add r4, r4, r15
+        store r4, 0, r8
+        ret
+    """
+    asm = pool_asm(threads, iters, work, _lcg_fill(particles))
+    return Scenario(f"pairwise[{threads}x{particles}]", asm)
+
+
+def stencil_sweep(
+    threads: int, cells: int, iters: int = 3, radius: int = 1, name: str = "stencil"
+) -> Scenario:
+    """``bwaves``/``ilbdc``/``facesim``-like ping-pong stencil: workers
+    stream over their strip reading ``2*radius + 1`` source neighbours
+    and writing their own destination strip.  Memory-bound; sharing at
+    strip borders only."""
+    chunk = max(2 * radius + 1, cells // threads)
+    work = f"""
+    func work_region:
+{_PINGPONG_SELECT}
+        muli r1, r15, {chunk}    ; strip [r1, r2)
+        addi r2, r1, {chunk}
+        const r3, {cells}
+        ble r2, r3, bounded
+        mov r2, r3
+    bounded:
+    cloop:
+        bge r1, r2, cdone
+        const r8, 0
+        const r10, {-radius}
+        const r11, {radius + 1}
+    nloop:
+        bge r10, r11, ndone
+        add r12, r1, r10
+        blt r12, r13, skip       ; clamp at the edges
+        bge r12, r3, skip
+        add r14, r6, r12
+        load r14, r14, 0
+        add r8, r8, r14
+    skip:
+        addi r10, r10, 1
+        jmp nloop
+    ndone:
+        const r10, {2 * radius + 1}
+        div r8, r8, r10
+        add r12, r7, r1
+        store r12, 0, r8
+        addi r1, r1, 1
+        jmp cloop
+    cdone:
+        ret
+    """
+    asm = pool_asm(threads, iters, work, _lcg_fill(cells))
+    return Scenario(f"{name}[{threads}x{cells}]", asm)
+
+
+def allgather_sweep(threads: int, cells: int, iters: int = 4, samples: int = 16,
+                    name: str = "allgather") -> Scenario:
+    """``fluidanimate``-like: for every cell of its strip a worker
+    gathers a strided sample spanning the *whole* array (neighbour lists
+    cross the domain), then writes its own strip — so after the first
+    iteration nearly all of a worker's input was produced by other
+    threads."""
+    chunk = max(1, cells // threads)
+    stride = max(1, cells // samples)
+    work = f"""
+    func work_region:
+{_PINGPONG_SELECT}
+        muli r1, r15, {chunk}
+        addi r2, r1, {chunk}
+        const r3, {cells}
+        ble r2, r3, bounded
+        mov r2, r3
+    bounded:
+    cloop:
+        bge r1, r2, cdone
+        const r8, 0
+        const r10, 0             ; sample cursor
+    sloop:
+        bge r10, r3, sdone
+        add r12, r1, r10
+        mod r12, r12, r3         ; rotate samples with the cell index
+        add r14, r6, r12
+        load r14, r14, 0         ; spans every strip: thread-induced
+        add r8, r8, r14
+        addi r10, r10, {stride}
+        jmp sloop
+    sdone:
+        const r10, {samples}
+        div r8, r8, r10
+        add r12, r7, r1
+        store r12, 0, r8
+        addi r1, r1, 1
+        jmp cloop
+    cdone:
+        ret
+    """
+    asm = pool_asm(threads, iters, work, _lcg_fill(cells))
+    return Scenario(f"{name}[{threads}x{cells}]", asm)
+
+
+def reduction_kernel(threads: int, cells: int, iters: int = 2) -> Scenario:
+    """``nab``-like: per-strip reduction with a division-heavy inner
+    loop.  Low sharing: each worker reads only its strip of main-written
+    data — the quiet end of the communication spectrum."""
+    chunk = max(1, cells // threads)
+    work = f"""
+    func work_region:
+        muli r1, r15, {chunk}
+        addi r2, r1, {chunk}
+        const r3, {cells}
+        ble r2, r3, bounded
+        mov r2, r3
+    bounded:
+        const r8, 1
+    loop:
+        bge r1, r2, done
+        const r4, {SRC_BASE}
+        add r4, r4, r1
+        load r5, r4, 0
+        addi r5, r5, 3
+        const r6, 7
+        div r7, r5, r6
+        mod r5, r5, r6
+        add r8, r8, r7
+        add r8, r8, r5
+        addi r1, r1, 1
+        jmp loop
+    done:
+        const r4, {OUT_BASE}
+        add r4, r4, r15
+        store r4, 0, r8
+        ret
+    """
+    asm = pool_asm(threads, iters, work, _lcg_fill(cells))
+    return Scenario(f"reduction[{threads}x{cells}]", asm)
+
+
+def task_loop(threads: int, tasks: int, task_size: int, iters: int = 1,
+              name: str = "taskloop") -> Scenario:
+    """``botsalgn``/``fma3d``-like: a bag of small tasks strided across
+    the pool, each handled by a dedicated routine call — deep, call-rich
+    profiles where every task activation gets its own input size."""
+    work = f"""
+    func work_region:
+        mov r11, r15             ; tasks strided across workers
+    tloop:
+        const r12, {tasks}
+        bge r11, r12, tdone
+        mov r1, r11
+        call do_task
+        addi r11, r11, {threads}
+        jmp tloop
+    tdone:
+        ret
+    func do_task:                ; r1 = task number
+        muli r2, r1, {task_size}
+        const r3, {SRC_BASE}
+        add r2, r2, r3           ; task data base
+        const r4, 0
+        const r5, 0
+    dloop:
+        const r6, {task_size}
+        bge r4, r6, ddone
+        add r7, r2, r4
+        load r8, r7, 0
+        mul r8, r8, r8
+        add r5, r5, r8
+        addi r4, r4, 1
+        jmp dloop
+    ddone:
+        const r7, {OUT_BASE}
+        add r7, r7, r1
+        store r7, 0, r5
+        ret
+    """
+    asm = pool_asm(threads, iters, work, _lcg_fill(tasks * task_size))
+    return Scenario(f"{name}[{threads}x{tasks}]", asm)
+
+
+def gather_scatter(threads: int, cells: int, accesses: int, iters: int = 2,
+                   locked: bool = False, name: str = "gather") -> Scenario:
+    """``botsspar``/``canneal``/``streamcluster``-like: irregular indexed
+    access through an index array.  With ``locked=True`` updates hit one
+    shared structure under a mutex (canneal-style swaps, genuinely
+    cross-thread); without it, indices are partitioned by worker
+    (owner-computes, like a sparse solver's task decomposition)."""
+    lock_prefix = "        lock m\n" if locked else ""
+    lock_suffix = "        unlock m\n" if locked else ""
+    stride = max(1, cells // max(threads, 1))
+    fill_stride = cells if locked else stride
+    if locked:
+        pick_index = f"""
+        const r4, {cells}
+        mod r5, r11, r4           ; irregular index, any cell"""
+    else:
+        pick_index = f"""
+        const r4, {stride}
+        mod r5, r11, r4
+        muli r6, r15, {stride}
+        add r5, r5, r6            ; irregular index inside my partition"""
+    work = f"""
+    func work_region:
+        const r14, 0
+        const r10, {accesses}
+        muli r11, r15, 97         ; per-worker LCG seed
+        add r11, r11, r9          ; varied across iterations
+        addi r11, r11, 13
+    aloop:
+        bge r14, r10, adone
+        muli r11, r11, 75
+        addi r11, r11, 74
+        const r4, 65537
+        mod r11, r11, r4
+{pick_index}
+        const r6, {AUX_BASE}
+        add r6, r6, r5
+        load r7, r6, 0            ; indirection table
+        const r6, {SRC_BASE}
+        add r6, r6, r7
+{lock_prefix}        load r8, r6, 0
+        addi r8, r8, 1
+        store r6, 0, r8
+{lock_suffix}        addi r14, r14, 1
+        jmp aloop
+    adone:
+        ret
+    """
+    fill = f"""
+    func fill:
+        const r1, {SRC_BASE}
+        const r2, {cells}
+        const r3, 0
+    floop:
+        bge r3, r2, fmid
+        add r6, r1, r3
+        store r6, 0, r3
+        addi r3, r3, 1
+        jmp floop
+    fmid:
+        const r1, {AUX_BASE}
+        const r3, 0
+        const r4, 41
+    gloop:
+        bge r3, r2, fdone
+        muli r4, r4, 31
+        addi r4, r4, 17
+        const r7, {fill_stride}
+        mod r5, r4, r7            ; offset within the partition
+        div r8, r3, r7
+        muli r8, r8, {fill_stride}
+        add r5, r5, r8            ; indirection stays partition-local
+        add r6, r1, r3
+        store r6, 0, r5
+        addi r3, r3, 1
+        jmp gloop
+    fdone:
+        ret
+    """
+    asm = pool_asm(threads, iters, work, fill)
+    return Scenario(f"{name}[{threads}x{cells}]", asm)
+
+
+def dp_matrix(threads: int, rows: int, cols: int, name: str = "dp",
+              seed: int = 5) -> Scenario:
+    """``smithwa``-like: dynamic programming over two sequences.  Main
+    streams the sequences in through kernel reads and *parses* them into
+    shared arrays (as the benchmark's master does before the parallel
+    region), so main sees a little external input and the workers see
+    thread-induced input; each worker fills a band of the DP matrix."""
+    rng = random.Random(seed)
+    seq_a = [rng.randrange(1, 5) for _ in range(rows)]
+    seq_b = [rng.randrange(1, 5) for _ in range(cols)]
+    band = max(1, rows // threads)
+    matrix_stride = _pow2_at_least(cols)
+    staging = AUX_BASE + 4096
+    work = f"""
+    func work_region:            ; band of rows [r12, r14)
+        muli r12, r15, {band}
+        addi r14, r12, {band}
+        const r3, {rows}
+        ble r14, r3, bounded
+        mov r14, r3
+    bounded:
+    rloop:
+        bge r12, r14, rdone
+        const r1, {AUX_BASE}
+        add r1, r1, r12
+        load r2, r1, 0           ; seq_a[row] (thread-induced: main wrote)
+        const r4, 0              ; col
+    cloop:
+        const r5, {cols}
+        bge r4, r5, cdone
+        const r1, {AUX_BASE + 2048}
+        add r1, r1, r4
+        load r5, r1, 0           ; seq_b[col]
+        sub r6, r2, r5
+        mul r6, r6, r6
+        mul r7, r12, r4
+        add r6, r6, r7
+        const r1, {SRC_BASE}
+        muli r7, r12, {matrix_stride}
+        add r1, r1, r7
+        add r1, r1, r4
+        store r1, 0, r6          ; matrix cell
+        addi r4, r4, 1
+        jmp cloop
+    cdone:
+        addi r12, r12, 1
+        jmp rloop
+    rdone:
+        ret
+    """
+    fill = f"""
+    func fill:
+        const r1, {staging}
+        const r2, {rows}
+        sysread r3, r1, r2, seq_a
+        const r4, {AUX_BASE}
+        const r5, 0
+    caloop:
+        bge r5, r2, cadone
+        add r6, r1, r5
+        load r7, r6, 0           ; external input to main
+        add r6, r4, r5
+        store r6, 0, r7          ; main-written copy for the workers
+        addi r5, r5, 1
+        jmp caloop
+    cadone:
+        const r1, {staging + 2048}
+        const r2, {cols}
+        sysread r3, r1, r2, seq_b
+        const r4, {AUX_BASE + 2048}
+        const r5, 0
+    cbloop:
+        bge r5, r2, cbdone
+        add r6, r1, r5
+        load r7, r6, 0
+        add r6, r4, r5
+        store r6, 0, r7
+        addi r5, r5, 1
+        jmp cbloop
+    cbdone:
+        ret
+    """
+    asm = pool_asm(threads, 1, work, fill)
+    return Scenario(
+        f"{name}[{threads}x{rows}x{cols}]",
+        asm,
+        device_factory=lambda: {
+            "seq_a": InputDevice(seq_a),
+            "seq_b": InputDevice(seq_b),
+        },
+    )
+
+
+def _pow2_at_least(value: int) -> int:
+    result = 1
+    while result < value:
+        result *= 2
+    return result
+
+
+def monte_carlo(threads: int, paths: int, steps: int, name: str = "montecarlo",
+                externals: bool = False, seed: int = 9) -> Scenario:
+    """``swaptions``/``blackscholes``-like: independent simulations with
+    per-thread random streams.  With ``externals=True`` the per-path
+    parameters stream in from a device (blackscholes reads its option
+    portfolio from a file)."""
+    per_worker = max(1, paths // threads)
+    if externals:
+        fill = f"""
+    func fill:
+        const r1, {AUX_BASE}
+        const r2, {paths}
+        sysread r3, r1, r2, options
+        ret
+        """
+        param_load = f"""
+        const r4, {AUX_BASE}
+        add r4, r4, r12
+        load r5, r4, 0           ; path parameter (external input)
+        """
+        rng = random.Random(seed)
+        option_values = [rng.randrange(1, 100) for _ in range(paths)]
+
+        def device_factory():
+            return {"options": InputDevice(option_values)}
+    else:
+        fill = """
+    func fill:
+        ret
+        """
+        param_load = """
+        const r5, 17             ; fixed parameter
+        """
+        device_factory = None
+    work = f"""
+    func work_region:
+        muli r12, r15, {per_worker}
+        addi r14, r12, {per_worker}
+        muli r11, r15, 53
+        addi r11, r11, 7         ; per-thread LCG state
+    ploop:
+        bge r12, r14, pdone
+{param_load}
+        const r7, 0
+        mov r8, r5
+    sloop:
+        const r10, {steps}
+        bge r7, r10, sdone
+        muli r11, r11, 75
+        addi r11, r11, 74
+        const r4, 65537
+        mod r11, r11, r4
+        const r4, 128
+        mod r6, r11, r4
+        add r8, r8, r6
+        addi r8, r8, -64
+        addi r7, r7, 1
+        jmp sloop
+    sdone:
+        const r4, {OUT_BASE}
+        add r4, r4, r15
+        load r6, r4, 0
+        add r6, r6, r8
+        store r4, 0, r6          ; accumulate into my result cell
+        addi r12, r12, 1
+        jmp ploop
+    pdone:
+        ret
+    """
+    asm = pool_asm(threads, 1, work, fill)
+    return Scenario(f"{name}[{threads}x{paths}]", asm, device_factory=device_factory)
+
+
+#: chunk-length cycle modelling dedup's content-defined chunking
+_PIPELINE_LENGTHS = [3, 7, 2, 9, 5, 12, 4, 8, 6, 11]
+
+
+def thread_pipeline(stages_items: int, chunk: int = 4, name: str = "pipeline") -> Scenario:
+    """``dedup``-like three-stage pipeline: reader → hasher → writer,
+    coupled by one-slot buffers and semaphores.
+
+    Like the real dedup, chunk boundaries are content-defined, so chunks
+    have *variable* length: the reader streams each chunk in through a
+    one-cell rolling window (its rms is constant while its trms equals
+    the true chunk length — the extreme richness point of Figure 15),
+    and publishes the length in the buffer header for the downstream
+    stages.  ``chunk`` scales the length cycle.
+    """
+    items = stages_items
+    buf_a = SRC_BASE            # reader -> hasher: [length, data...]
+    buf_b = SRC_BASE + 64       # hasher -> writer: [length, hashes...]
+    len_buf = SRC_BASE + 128    # boundary staging + rolling window
+    lengths = [max(1, length * chunk // 4) for length in _PIPELINE_LENGTHS]
+    asm = f"""
+    func main:
+        semup a_empty
+        semup b_empty
+        const r1, {items}
+        spawn r10, reader, r1
+        spawn r11, hasher, r1
+        spawn r12, writer, r1
+        join r10
+        join r11
+        join r12
+        ret
+    func reader:                 ; r0 = items
+        mov r9, r0
+        const r13, 0
+    rloop:
+        ble r9, r13, rdone
+        semdown a_empty
+        call read_chunk
+        semup a_full
+        addi r9, r9, -1
+        jmp rloop
+    rdone:
+        ret
+    func read_chunk:             ; content-defined chunking: the rolling
+        const r1, {len_buf}      ; window is ONE reused cell, so this
+        const r2, 1              ; routine's rms is constant while its
+        sysread r3, r1, r2, boundaries
+        load r4, r1, 0           ; trms equals the true chunk length
+        const r5, 0              ; i
+    chloop:
+        bge r5, r4, chdone
+        const r1, {len_buf + 1}  ; rolling one-cell window
+        const r2, 1
+        sysread r3, r1, r2, input
+        load r7, r1, 0           ; external induced, every refill
+        const r8, {buf_a + 1}
+        add r8, r8, r5
+        store r8, 0, r7          ; append to the chunk buffer
+        addi r5, r5, 1
+        jmp chloop
+    chdone:
+        const r1, {buf_a}
+        store r1, 0, r4          ; publish the length in the header
+        ret
+    func hasher:                 ; r0 = items
+        mov r9, r0
+        const r13, 0
+    hloop:
+        ble r9, r13, hdone
+        semdown a_full
+        semdown b_empty
+        call hash_chunk
+        semup a_empty
+        semup b_full
+        addi r9, r9, -1
+        jmp hloop
+    hdone:
+        ret
+    func hash_chunk:
+        const r1, {buf_a}
+        load r10, r1, 0          ; chunk length (thread-induced)
+        const r2, {buf_b}
+        store r2, 0, r10
+        const r3, 0
+        const r4, 0
+    xloop:
+        bge r3, r10, xdone
+        add r6, r1, r3
+        load r7, r6, 1           ; data word (thread-induced: reader wrote)
+        muli r4, r4, 31
+        add r4, r4, r7
+        const r8, 65537
+        mod r4, r4, r8
+        add r6, r2, r3
+        store r6, 1, r4          ; hashed word for the writer
+        addi r3, r3, 1
+        jmp xloop
+    xdone:
+        ret
+    func writer:                 ; r0 = items
+        mov r9, r0
+        const r13, 0
+        semdown b_full
+    wstart:
+        call write_chunk
+        semup b_empty
+        addi r9, r9, -1
+        ble r9, r13, wdone
+        semdown b_full
+        jmp wstart
+    wdone:
+        ret
+    func write_chunk:
+        const r1, {buf_b}
+        load r2, r1, 0           ; length (thread-induced)
+        addi r2, r2, 1
+        syswrite r1, r2, output  ; header + hashes out
+        ret
+    """
+    boundary_values = [lengths[index % len(lengths)] for index in range(items)]
+    total_data = sum(boundary_values)
+    data_values = list(range(1, total_data + 1))
+    return Scenario(
+        f"{name}[{items}x{chunk}]",
+        asm,
+        device_factory=lambda: {
+            "boundaries": InputDevice(list(boundary_values)),
+            "input": InputDevice(list(data_values)),
+            "output": OutputDevice(),
+        },
+    )
+
+
+def tree_build(threads: int, keys: int, queries: int, seed: int = 21) -> Scenario:
+    """``kdtree``-like: main builds an implicit binary search tree (a
+    sorted array, written in-guest so worker queries are thread-induced
+    input), workers run recursive binary-search queries — logarithmic
+    input sizes and a recursive call structure."""
+    per_worker = max(1, queries // threads)
+    work = f"""
+    func work_region:
+        muli r11, r15, 61
+        addi r11, r11, 29
+        const r14, 0
+    qloop:
+        const r10, {per_worker}
+        bge r14, r10, qdone
+        muli r11, r11, 75
+        addi r11, r11, 74
+        const r4, 65537
+        mod r11, r11, r4
+        const r4, {keys * 10}
+        mod r1, r11, r4          ; query key
+        const r2, 0              ; lo
+        const r3, {keys}         ; hi
+        call search
+        addi r14, r14, 1
+        jmp qloop
+    qdone:
+        ret
+    func search:                 ; r1 = key, r2 = lo, r3 = hi (recursive)
+        bge r2, r3, miss
+        add r4, r2, r3
+        const r5, 2
+        div r4, r4, r5           ; mid
+        const r5, {SRC_BASE}
+        add r5, r5, r4
+        load r6, r5, 0
+        beq r6, r1, hit
+        blt r6, r1, right
+        mov r3, r4               ; hi = mid
+        call search
+        ret
+    right:
+        addi r2, r4, 1           ; lo = mid + 1
+        call search
+        ret
+    hit:
+        ret
+    miss:
+        ret
+    """
+    fill = f"""
+    func fill:                   ; main writes the sorted key array
+        const r1, {SRC_BASE}
+        const r2, {keys}
+        const r3, 0
+    floop:
+        bge r3, r2, fdone
+        muli r4, r3, 7
+        addi r4, r4, 3           ; keys 3, 10, 17, ... (sorted)
+        add r5, r1, r3
+        store r5, 0, r4
+        addi r3, r3, 1
+        jmp floop
+    fdone:
+        ret
+    """
+    asm = pool_asm(threads, 1, work, fill)
+    return Scenario(f"kdtree[{threads}x{keys}]", asm)
+
+
+def device_filter(threads: int, pixels: int, iters: int = 1,
+                  name: str = "imagefilter", seed: int = 2) -> Scenario:
+    """``imagick``-like: image streamed in from a device, workers apply a
+    3-point filter to their strip, result streams out — external input
+    heavy, with a parallel compute phase in between."""
+    rng = random.Random(seed)
+    image = [rng.randrange(0, 256) for _ in range(pixels)]
+    chunk = max(1, pixels // threads)
+    work = f"""
+    func work_region:
+        muli r1, r15, {chunk}
+        addi r2, r1, {chunk}
+        const r3, {pixels}
+        ble r2, r3, bounded
+        mov r2, r3
+    bounded:
+        const r13, 0
+    floop:
+        bge r1, r2, fdone
+        const r4, {SRC_BASE}
+        add r4, r4, r1
+        load r5, r4, 0           ; pixel (external: kernel-filled)
+        addi r6, r1, -1
+        blt r6, r13, noleft
+        const r4, {SRC_BASE}
+        add r4, r4, r6
+        load r7, r4, 0
+        add r5, r5, r7
+    noleft:
+        addi r6, r1, 1
+        bge r6, r3, noright
+        const r4, {SRC_BASE}
+        add r4, r4, r6
+        load r7, r4, 0
+        add r5, r5, r7
+    noright:
+        const r4, 3
+        div r5, r5, r4
+        const r4, {DST_BASE}
+        add r4, r4, r1
+        store r4, 0, r5
+        addi r1, r1, 1
+        jmp floop
+    fdone:
+        ret
+    """
+    fill = f"""
+    func fill:                   ; stream the image in
+        const r1, {SRC_BASE}
+        const r2, {pixels}
+        sysread r3, r1, r2, image_in
+        ret
+    """
+    skeleton = pool_asm(threads, iters, work, fill)
+    flush = f"""
+    func flush_output:
+        const r1, {DST_BASE}
+        const r2, {pixels}
+        syswrite r1, r2, image_out
+        ret
+    """
+    skeleton = skeleton.replace(
+        "    jdone:\n        ret", "    jdone:\n        call flush_output\n        ret", 1
+    )
+    return Scenario(
+        f"{name}[{threads}x{pixels}]",
+        skeleton + flush,
+        device_factory=lambda: {
+            "image_in": InputDevice(image),
+            "image_out": OutputDevice(),
+        },
+    )

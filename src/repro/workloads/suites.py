@@ -1,0 +1,252 @@
+"""Benchmark suite registry: SPEC-OMP2012-like and PARSEC-like entries.
+
+Each entry maps a benchmark the paper evaluates to the kernel that
+models it (see :mod:`repro.workloads.kernels` and DESIGN.md for the
+substitution rationale).  Entries are parameterized by thread count and
+a size ``scale`` so the experiments can sweep both.
+
+The registry powers the evaluation harness:
+
+* Table 1 runs every SPEC-OMP-like entry under each tool;
+* Figure 14 sweeps thread counts;
+* Figures 15–19 profile the PARSEC-like entries (plus the minidb
+  workload, registered by :mod:`repro.minidb` on the pytrace substrate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.events import EventBus, TraceConsumer
+from ..core.profile_data import ProfileDatabase
+from ..core.rms import RmsProfiler
+from ..core.trms import TrmsProfiler
+from ..vipslike import vips_pipeline
+from ..vm.machine import Machine
+from ..vm.programs import Scenario
+from . import kernels
+
+__all__ = ["Benchmark", "SPEC_OMP", "PARSEC", "benchmark", "all_benchmarks"]
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+class Benchmark:
+    """One registry entry: a named, scalable guest workload."""
+
+    def __init__(
+        self,
+        name: str,
+        suite: str,
+        factory: Callable[[int, float], Scenario],
+        description: str,
+    ):
+        self.name = name
+        self.suite = suite
+        self.factory = factory
+        self.description = description
+
+    def scenario(self, threads: int = 4, scale: float = 1.0) -> Scenario:
+        return self.factory(threads, scale)
+
+    def run(
+        self,
+        tools: Optional[TraceConsumer] = None,
+        threads: int = 4,
+        scale: float = 1.0,
+        timeslice: int = 23,
+    ) -> Machine:
+        """Run once and return the machine (stats included)."""
+        return self.scenario(threads, scale).run(tools=tools, timeslice=timeslice)
+
+    def profile(
+        self, threads: int = 4, scale: float = 1.0, timeslice: int = 23
+    ) -> Tuple[ProfileDatabase, ProfileDatabase, Machine]:
+        """Run once under both profilers; return (rms_db, trms_db, machine)."""
+        rms = RmsProfiler()
+        trms = TrmsProfiler()
+        machine = self.run(
+            tools=EventBus([rms, trms]), threads=threads, scale=scale,
+            timeslice=timeslice,
+        )
+        return rms.db, trms.db, machine
+
+
+def _spec(name: str, factory: Callable[[int, float], Scenario], description: str) -> Benchmark:
+    return Benchmark(name, "spec-omp2012", factory, description)
+
+
+def _parsec(name: str, factory: Callable[[int, float], Scenario], description: str) -> Benchmark:
+    return Benchmark(name, "parsec", factory, description)
+
+
+SPEC_OMP: Dict[str, Benchmark] = {
+    bench.name: bench
+    for bench in [
+        _spec(
+            "350.md",
+            lambda t, s: kernels.pairwise_forces(t, _scaled(28, s), iters=2),
+            "molecular dynamics: O(n^2) pairwise forces over shared positions",
+        ),
+        _spec(
+            "351.bwaves",
+            lambda t, s: kernels.stencil_sweep(t, _scaled(160, s), iters=3, radius=2,
+                                               name="bwaves"),
+            "blast waves: wide-radius streaming stencil, memory bound",
+        ),
+        _spec(
+            "352.nab",
+            lambda t, s: kernels.reduction_kernel(t, _scaled(240, s), iters=2),
+            "molecular modelling: arithmetic-dense strip reductions",
+        ),
+        _spec(
+            "358.botsalgn",
+            lambda t, s: kernels.task_loop(t, _scaled(24, s), 12, name="botsalgn"),
+            "protein alignment: task bag, one routine call per alignment",
+        ),
+        _spec(
+            "359.botsspar",
+            lambda t, s: kernels.gather_scatter(t, _scaled(96, s), _scaled(70, s),
+                                                name="botsspar"),
+            "sparse LU: irregular indexed gather/scatter",
+        ),
+        _spec(
+            "360.ilbdc",
+            lambda t, s: kernels.stencil_sweep(t, _scaled(260, s), iters=2, radius=1,
+                                               name="ilbdc"),
+            "lattice Boltzmann: narrow stencil over a large lattice",
+        ),
+        _spec(
+            "362.fma3d",
+            lambda t, s: kernels.task_loop(t, _scaled(40, s), 6, name="fma3d"),
+            "crash simulation: many small per-element routine calls",
+        ),
+        _spec(
+            "367.imagick",
+            lambda t, s: kernels.device_filter(t, _scaled(180, s), name="imagick"),
+            "image conversion: device-streamed pixels, filter, stream out",
+        ),
+        _spec(
+            "370.mgrid331",
+            lambda t, s: kernels.stencil_sweep(t, _scaled(120, s), iters=3, radius=3,
+                                               name="mgrid"),
+            "multigrid: wide-support smoothing sweeps",
+        ),
+        _spec(
+            "371.applu331",
+            lambda t, s: kernels.stencil_sweep(t, _scaled(140, s), iters=4, radius=2,
+                                               name="applu"),
+            "SSOR solver: repeated wavefront-like sweeps",
+        ),
+        _spec(
+            "372.smithwa",
+            lambda t, s: kernels.dp_matrix(t, _scaled(26, s), _scaled(26, s),
+                                           name="smithwa"),
+            "Smith-Waterman: DP matrix over device-loaded sequences",
+        ),
+        _spec(
+            "376.kdtree",
+            lambda t, s: kernels.tree_build(t, _scaled(128, s), _scaled(40, s)),
+            "kd-tree: recursive searches over a main-built tree",
+        ),
+    ]
+}
+
+
+PARSEC: Dict[str, Benchmark] = {
+    bench.name: bench
+    for bench in [
+        _parsec(
+            "blackscholes",
+            lambda t, s: kernels.monte_carlo(t, _scaled(36, s), 12, externals=True,
+                                             name="blackscholes"),
+            "option pricing: device-loaded portfolio, independent paths",
+        ),
+        _parsec(
+            "bodytrack",
+            lambda t, s: kernels.task_loop(t, _scaled(30, s), 8, iters=2,
+                                           name="bodytrack"),
+            "particle tracking: per-frame task bags over shared observations",
+        ),
+        _parsec(
+            "canneal",
+            lambda t, s: kernels.gather_scatter(t, _scaled(80, s), _scaled(60, s),
+                                                locked=True, name="canneal"),
+            "simulated annealing: lock-protected random netlist swaps",
+        ),
+        _parsec(
+            "dedup",
+            lambda t, s: kernels.thread_pipeline(_scaled(30, s), chunk=4, name="dedup"),
+            "dedup: reader/hasher/writer pipeline over device streams",
+        ),
+        _parsec(
+            "facesim",
+            lambda t, s: kernels.stencil_sweep(t, _scaled(180, s), iters=2, radius=1,
+                                               name="facesim"),
+            "face simulation: mesh stencil sweeps",
+        ),
+        _parsec(
+            "fluidanimate",
+            lambda t, s: kernels.allgather_sweep(t, _scaled(96, s), iters=16,
+                                                 name="fluidanimate"),
+            "fluid dynamics: domain-spanning neighbour gathers each step",
+        ),
+        _parsec(
+            "ferret",
+            lambda t, s: kernels.thread_pipeline(_scaled(24, s), chunk=6, name="ferret"),
+            "similarity search: multi-stage pipeline over query streams",
+        ),
+        _parsec(
+            "freqmine",
+            lambda t, s: kernels.tree_build(t, _scaled(160, s), _scaled(48, s)),
+            "frequent itemsets: shared prefix-tree queries",
+        ),
+        _parsec(
+            "raytrace",
+            lambda t, s: kernels.task_loop(t, _scaled(36, s), 10, name="raytrace"),
+            "ray tracing: independent per-tile tasks over a shared scene",
+        ),
+        _parsec(
+            "x264",
+            lambda t, s: kernels.stencil_sweep(t, _scaled(160, s), iters=3, radius=2,
+                                               name="x264"),
+            "video encoding: motion-search sweeps over reference frames",
+        ),
+        _parsec(
+            "streamcluster",
+            lambda t, s: kernels.pairwise_forces(t, _scaled(24, s), iters=2),
+            "online clustering: distances from every point to shared centres",
+        ),
+        _parsec(
+            "swaptions",
+            lambda t, s: kernels.monte_carlo(t, _scaled(30, s), 16, name="swaptions"),
+            "Monte Carlo pricing: thread-private simulation, minimal sharing",
+        ),
+        _parsec(
+            "vips",
+            lambda t, s: vips_pipeline(
+                workers=max(1, t // 2),
+                strips_per_worker=_scaled(8, s),
+                strip_cells=64,
+                window=16,
+            ),
+            "image pipeline: windowed im_generate + write-behind wbuffer",
+        ),
+    ]
+}
+
+
+def benchmark(name: str) -> Benchmark:
+    """Look up a benchmark in either suite by name."""
+    if name in SPEC_OMP:
+        return SPEC_OMP[name]
+    if name in PARSEC:
+        return PARSEC[name]
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """Every registered VM benchmark, SPEC first."""
+    return list(SPEC_OMP.values()) + list(PARSEC.values())

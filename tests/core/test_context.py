@@ -1,0 +1,134 @@
+"""Tests for calling-context-sensitive profiling."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    NaiveTrms,
+    RmsProfiler,
+    Trace,
+    TrmsProfiler,
+    compose_context,
+    context_depth,
+    contexts_of,
+    fold_to_routines,
+    leaf_routine,
+    merge_traces,
+    replay,
+)
+
+from .util import db_snapshot, events_strategy
+
+
+def two_caller_trace():
+    """parse() called from load_config (1 cell) and from handler (5 cells)."""
+    trace = Trace(1)
+    trace.call("main")
+    trace.call("load_config")
+    trace.call("parse")
+    trace.read(0)
+    trace.ret()
+    trace.ret()
+    trace.call("handler")
+    trace.call("parse")
+    trace.read(10, size=5)
+    trace.ret()
+    trace.ret()
+    trace.ret()
+    return merge_traces([trace])
+
+
+def test_key_grammar():
+    key = compose_context(compose_context("main", "f"), "g")
+    assert key == "main;f;g"
+    assert leaf_routine(key) == "g"
+    assert leaf_routine("main") == "main"
+    assert context_depth(key) == 3
+    assert context_depth("main") == 1
+
+
+def test_routine_level_merges_callers():
+    profiler = RmsProfiler(keep_activations=True)
+    replay(two_caller_trace(), profiler)
+    parse = profiler.db.merged()["parse"]
+    assert parse.calls == 2
+    assert sorted(parse.points) == [1, 5]
+
+
+def test_context_level_separates_callers():
+    profiler = RmsProfiler(keep_activations=True, context_sensitive=True)
+    replay(two_caller_trace(), profiler)
+    contexts = contexts_of(profiler.db, "parse")
+    assert len(contexts) == 2
+    by_leafless = {key.rsplit(";", 2)[-2]: profile for key, profile in contexts.items()}
+    assert by_leafless["load_config"].size_sum == 1
+    assert by_leafless["handler"].size_sum == 5
+    for key in contexts:
+        assert key.startswith("<root:1>;main;")
+
+
+def test_fold_recovers_routine_level():
+    """Context keys refine routine keys: folding them back yields the
+    same aggregate profile as routine-level profiling of the same run."""
+    events = two_caller_trace()
+    context_profiler = TrmsProfiler(context_sensitive=True)
+    routine_profiler = TrmsProfiler()
+    replay(events, context_profiler)
+    replay(events, routine_profiler)
+    folded = fold_to_routines(context_profiler.db)
+    plain = routine_profiler.db.merged()
+    assert set(folded) == set(plain)
+    for routine, profile in plain.items():
+        twin = folded[routine]
+        assert twin.calls == profile.calls
+        assert twin.size_sum == profile.size_sum
+        assert twin.cost_sum == profile.cost_sum
+        assert {s: st.calls for s, st in twin.points.items()} == {
+            s: st.calls for s, st in profile.points.items()
+        }
+
+
+def test_recursion_produces_per_depth_contexts():
+    trace = Trace(1)
+    trace.call("rec")
+    trace.read(0)
+    trace.call("rec")
+    trace.read(1)
+    trace.call("rec")
+    trace.read(2)
+    trace.ret()
+    trace.ret()
+    trace.ret()
+    profiler = RmsProfiler(context_sensitive=True)
+    replay(merge_traces([trace]), profiler)
+    contexts = contexts_of(profiler.db, "rec")
+    assert len(contexts) == 3
+    depths = sorted(context_depth(key) for key in contexts)
+    assert depths == [2, 3, 4]   # under the implicit root
+
+
+@settings(max_examples=100, deadline=None)
+@given(events_strategy())
+def test_context_sensitive_trms_matches_oracle(events):
+    fast = TrmsProfiler(keep_activations=True, context_sensitive=True)
+    oracle = NaiveTrms(keep_activations=True, context_sensitive=True)
+    replay(events, fast)
+    replay(events, oracle)
+    assert db_snapshot(fast.db) == db_snapshot(oracle.db)
+
+
+@settings(max_examples=80, deadline=None)
+@given(events_strategy())
+def test_fold_property_on_random_traces(events):
+    context_profiler = TrmsProfiler(context_sensitive=True)
+    routine_profiler = TrmsProfiler()
+    replay(events, context_profiler)
+    replay(events, routine_profiler)
+    folded = fold_to_routines(context_profiler.db)
+    plain = routine_profiler.db.merged()
+    assert {r: p.calls for r, p in folded.items()} == {
+        r: p.calls for r, p in plain.items()
+    }
+    assert {r: p.size_sum for r, p in folded.items()} == {
+        r: p.size_sum for r, p in plain.items()
+    }

@@ -1,0 +1,29 @@
+"""Unit tests for the cost-model abstraction."""
+
+from repro.core import BasicBlockCost, CostModel, InstructionCost, OperationCost
+
+
+def test_base_model_charges_nothing():
+    model = CostModel()
+    assert model.block() == 0
+    assert model.instruction() == 0
+    assert model.operation() == 0
+
+
+def test_basic_block_model():
+    model = BasicBlockCost()
+    assert model.block() == 1
+    assert model.instruction() == 0
+    assert model.name == "basic-blocks"
+
+
+def test_instruction_model():
+    model = InstructionCost()
+    assert model.block() == 0
+    assert model.instruction() == 1
+
+
+def test_operation_model():
+    model = OperationCost()
+    assert model.operation() == 1
+    assert model.block() == 0

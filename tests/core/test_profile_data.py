@@ -1,0 +1,111 @@
+"""Unit tests for profile data containers."""
+
+import pytest
+
+from repro.core import ProfileDatabase, RoutineProfile, SizeStats
+
+
+def test_size_stats_min_max_sum():
+    stats = SizeStats()
+    for cost in (5, 2, 9):
+        stats.add(cost)
+    assert stats.calls == 3
+    assert stats.cost_min == 2
+    assert stats.cost_max == 9
+    assert stats.cost_sum == 16
+    assert stats.cost_sumsq == 25 + 4 + 81
+    assert stats.cost_avg == pytest.approx(16 / 3)
+
+
+def test_size_stats_merge():
+    a, b = SizeStats(), SizeStats()
+    a.add(5)
+    b.add(1)
+    b.add(10)
+    a.merge(b)
+    assert (a.calls, a.cost_min, a.cost_max, a.cost_sum) == (3, 1, 10, 16)
+
+
+def test_size_stats_merge_empty_cases():
+    a, b = SizeStats(), SizeStats()
+    a.merge(b)
+    assert a.calls == 0
+    b.add(4)
+    a.merge(b)
+    assert (a.cost_min, a.cost_max) == (4, 4)
+
+
+def test_routine_profile_points_and_plots():
+    profile = RoutineProfile("f", 1)
+    profile.add_activation(size=2, cost=10)
+    profile.add_activation(size=2, cost=30)
+    profile.add_activation(size=5, cost=50)
+    assert profile.distinct_sizes == 2
+    assert profile.worst_case_points() == [(2, 30), (5, 50)]
+    assert profile.average_points() == [(2, 20.0), (5, 50.0)]
+    assert profile.workload_points() == [(2, 2), (5, 1)]
+    assert profile.calls == 3
+    assert profile.size_sum == 9
+    assert profile.cost_sum == 90
+
+
+def test_routine_profile_induced_fraction():
+    profile = RoutineProfile("f", 1)
+    profile.add_activation(size=4, cost=1, induced_thread=1, induced_external=2)
+    assert profile.induced_sum == 3
+    assert profile.induced_fraction() == pytest.approx(0.75)
+    empty = RoutineProfile("g", 1)
+    assert empty.induced_fraction() == 0.0
+
+
+def test_routine_profile_merge_rejects_other_routine():
+    a = RoutineProfile("f", 1)
+    b = RoutineProfile("g", 2)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_database_add_and_lookup():
+    db = ProfileDatabase()
+    db.add_activation("f", 1, size=3, cost=7)
+    db.add_activation("f", 2, size=3, cost=9)
+    db.add_activation("g", 1, size=1, cost=2)
+    assert db.routines() == ["f", "g"]
+    assert db.threads() == [1, 2]
+    assert db.profile("f", 1).calls == 1
+    assert db.profile("f", 3) is None
+    assert len(db) == 3
+    assert len(db.routine_profiles("f")) == 2
+
+
+def test_database_merged_combines_threads():
+    db = ProfileDatabase()
+    db.add_activation("f", 1, size=3, cost=7, induced_thread=1)
+    db.add_activation("f", 2, size=3, cost=9, induced_external=2)
+    db.add_activation("f", 2, size=4, cost=1)
+    merged = db.merged()
+    profile = merged["f"]
+    assert profile.thread == -1
+    assert profile.calls == 3
+    assert profile.distinct_sizes == 2
+    assert profile.points[3].cost_max == 9
+    assert profile.induced_thread_sum == 1
+    assert profile.induced_external_sum == 2
+
+
+def test_database_keep_activations():
+    db = ProfileDatabase(keep_activations=True)
+    db.add_activation("f", 1, size=3, cost=7)
+    assert len(db.activations) == 1
+    record = db.activations[0]
+    assert (record.routine, record.thread, record.size, record.cost) == ("f", 1, 3, 7)
+
+
+def test_database_totals():
+    db = ProfileDatabase()
+    db.add_activation("f", 1, size=3, cost=7)
+    db.add_activation("g", 1, size=5, cost=7)
+    db.global_induced_thread = 4
+    db.global_induced_external = 1
+    assert db.total_size_sum() == 8
+    assert db.total_induced() == (4, 1)

@@ -1,0 +1,152 @@
+"""Unit tests for counter-overflow renumbering (Section 4.4)."""
+
+import itertools
+
+from repro.core import (
+    DictShadow,
+    NaiveTrms,
+    RmsProfiler,
+    Trace,
+    TrmsProfiler,
+    merge_traces,
+    renumber_timestamps,
+    replay,
+)
+
+
+class _State:
+    """Minimal stand-in for a profiler thread state."""
+
+    def __init__(self, stack_ts, cells):
+        from repro.core import ShadowStack
+
+        self.stack = ShadowStack()
+        for index, ts in enumerate(stack_ts):
+            self.stack.push(f"r{index}", ts, 0)
+        self.ts = DictShadow()
+        for addr, value in cells.items():
+            self.ts.set(addr, value)
+
+
+def test_routine_stamps_become_multiples_of_three_in_order():
+    state = _State([5, 17, 90], {})
+    new_count = renumber_timestamps([state], None)
+    stamps = [entry.ts for entry in state.stack.entries]
+    assert stamps == [3, 6, 9]
+    assert new_count > max(stamps)
+
+
+def test_ranks_are_global_across_threads():
+    state_a = _State([5, 40], {})
+    state_b = _State([20], {})
+    renumber_timestamps([state_a, state_b], None)
+    assert [entry.ts for entry in state_a.stack.entries] == [3, 9]
+    assert [entry.ts for entry in state_b.stack.entries] == [6]
+
+
+def test_memory_stamp_order_vs_stack_preserved_without_wts():
+    state = _State([10, 20, 30], {1: 5, 2: 10, 3: 15, 4: 30, 5: 99})
+    renumber_timestamps([state], None)
+    stack_ts = [entry.ts for entry in state.stack.entries]   # [3, 6, 9]
+    assert state.ts.get(1) < stack_ts[0]
+    assert stack_ts[0] <= state.ts.get(2) < stack_ts[1]
+    assert stack_ts[0] <= state.ts.get(3) < stack_ts[1]
+    assert stack_ts[2] <= state.ts.get(4)
+    assert stack_ts[2] <= state.ts.get(5)
+    # nonzero stamps never collapse onto the 0 sentinel
+    for addr in (1, 2, 3, 4, 5):
+        assert state.ts.get(addr) > 0
+
+
+def test_wts_relations_preserved_in_same_window():
+    # Window between stack stamps 10 and 20; three cells covering the
+    # three residue cases of the paper.
+    state = _State([10, 20], {1: 12, 2: 12, 3: 15})
+    wts = DictShadow()
+    wts.set(1, 12)   # ts == wts: thread was last writer
+    wts.set(2, 14)   # ts <  wts: foreign write after access
+    wts.set(3, 12)   # ts >  wts: thread read after the write
+    renumber_timestamps([state], wts)
+    assert state.ts.get(1) == wts.get(1)
+    assert state.ts.get(2) < wts.get(2)
+    assert state.ts.get(3) > wts.get(3)
+    # all still inside the first window [3, 6)
+    for addr in (1, 2, 3):
+        assert 3 <= state.ts.get(addr) < 6
+        assert 3 <= wts.get(addr) < 6
+
+
+def test_wts_relations_preserved_across_windows():
+    state = _State([10, 20, 30], {1: 12, 2: 25})
+    wts = DictShadow()
+    wts.set(1, 25)   # write in a later window than the access
+    wts.set(2, 12)   # write in an earlier window
+    renumber_timestamps([state], wts)
+    assert state.ts.get(1) < wts.get(1)
+    assert state.ts.get(2) > wts.get(2)
+
+
+def test_never_written_cells_keep_zero_wts():
+    state = _State([10], {1: 15})
+    wts = DictShadow()
+    renumber_timestamps([state], wts)
+    assert wts.get(1) == 0
+    assert state.ts.get(1) >= 3
+
+
+def test_new_count_exceeds_every_assigned_stamp():
+    state = _State([10, 20], {1: 15, 2: 25})
+    wts = DictShadow()
+    wts.set(1, 16)
+    new_count = renumber_timestamps([state], wts)
+    stamps = [entry.ts for entry in state.stack.entries]
+    stamps += [state.ts.get(1), state.ts.get(2), wts.get(1)]
+    assert new_count > max(stamps)
+
+
+def test_profiler_renumbers_and_stays_correct_on_long_run():
+    """A long single-thread run under a tiny counter: many renumberings,
+    same answer as the oracle."""
+    trace = Trace(1)
+    trace.call("main")
+    for i in range(60):
+        trace.call("work")
+        trace.read(i % 7)
+        trace.write(i % 5)
+        trace.ret()
+    trace.ret()
+    events = merge_traces([trace])
+
+    bounded = TrmsProfiler(keep_activations=True, max_count=25)
+    oracle = NaiveTrms(keep_activations=True)
+    replay(events, bounded)
+    replay(events, oracle)
+    assert bounded.renumber_count >= 3
+    assert [a.size for a in bounded.db.activations] == [
+        a.size for a in oracle.db.activations
+    ]
+
+
+def test_rms_profiler_renumbering_smoke():
+    trace = Trace(1)
+    trace.call("main")
+    for i in range(40):
+        trace.call("f")
+        trace.read(i % 3)
+        trace.ret()
+    trace.ret()
+    profiler = RmsProfiler(keep_activations=True, max_count=12)
+    replay(merge_traces([trace]), profiler)
+    assert profiler.renumber_count > 0
+    main = [a for a in profiler.db.activations if a.routine == "main"][0]
+    assert main.size == 3
+
+
+def test_renumbering_counts_are_reported():
+    trace = Trace(1)
+    for _ in range(30):
+        trace.call("f")
+        trace.ret()
+    profiler = TrmsProfiler(max_count=10)
+    replay(merge_traces([trace]), profiler)
+    assert profiler.renumber_count >= 2

@@ -1,0 +1,215 @@
+"""Unit tests for the sequential RMS profiler (PLDI 2012 semantics)."""
+
+from repro.core import Event, EventKind, RmsProfiler, Trace, merge_traces, replay
+
+
+def run(build, **kwargs):
+    """Build a single-thread trace with ``build(trace)`` and profile it."""
+    trace = Trace(1)
+    build(trace)
+    profiler = RmsProfiler(keep_activations=True, **kwargs)
+    replay(merge_traces([trace]), profiler)
+    return profiler
+
+
+def sizes(profiler, routine):
+    return [a.size for a in profiler.db.activations if a.routine == routine]
+
+
+def test_single_read_counts_once():
+    profiler = run(lambda t: (t.call("f"), t.read(0), t.read(0), t.read(0), t.ret()))
+    assert sizes(profiler, "f") == [1]
+
+
+def test_distinct_cells_count_individually():
+    def build(t):
+        t.call("f")
+        for addr in range(10):
+            t.read(addr)
+        t.ret()
+
+    assert sizes(run(build), "f") == [10]
+
+
+def test_write_then_read_is_not_input():
+    profiler = run(lambda t: (t.call("f"), t.write(3), t.read(3), t.ret()))
+    assert sizes(profiler, "f") == [0]
+
+
+def test_read_then_write_counts():
+    profiler = run(lambda t: (t.call("f"), t.read(3), t.write(3), t.read(3), t.ret()))
+    assert sizes(profiler, "f") == [1]
+
+
+def test_child_read_propagates_to_parent():
+    def build(t):
+        t.call("f")
+        t.call("g")
+        t.read(0)
+        t.ret()
+        t.ret()
+
+    profiler = run(build)
+    assert sizes(profiler, "g") == [1]
+    assert sizes(profiler, "f") == [1]
+
+
+def test_cell_read_by_parent_then_child_counts_for_both():
+    def build(t):
+        t.call("f")
+        t.read(0)
+        t.call("g")
+        t.read(0)
+        t.ret()
+        t.ret()
+
+    profiler = run(build)
+    assert sizes(profiler, "g") == [1]
+    assert sizes(profiler, "f") == [1]   # not 2: one distinct cell
+
+
+def test_parent_write_shields_child_read_from_parent_only():
+    def build(t):
+        t.call("f")
+        t.write(0)
+        t.call("g")
+        t.read(0)
+        t.ret()
+        t.ret()
+
+    profiler = run(build)
+    assert sizes(profiler, "g") == [1]   # g did not produce the value
+    assert sizes(profiler, "f") == [0]   # f did
+
+
+def test_sibling_calls_share_parent_accounting():
+    def build(t):
+        t.call("f")
+        t.call("g")
+        t.read(0)
+        t.ret()
+        t.call("h")
+        t.read(0)
+        t.ret()
+        t.ret()
+
+    profiler = run(build)
+    assert sizes(profiler, "g") == [1]
+    assert sizes(profiler, "h") == [1]
+    assert sizes(profiler, "f") == [1]   # still one distinct cell for f
+
+
+def test_deep_nesting_suffix_accounting():
+    def build(t):
+        t.call("a")
+        t.read(0)
+        t.call("b")
+        t.call("c")
+        t.read(0)
+        t.read(1)
+        t.ret()
+        t.ret()
+        t.ret()
+
+    profiler = run(build)
+    assert sizes(profiler, "c") == [2]
+    assert sizes(profiler, "b") == [2]
+    assert sizes(profiler, "a") == [2]   # cells 0 and 1
+
+
+def test_inclusive_cost():
+    def build(t):
+        t.call("f")
+        t.cost(5)
+        t.call("g")
+        t.cost(7)
+        t.ret()
+        t.cost(1)
+        t.ret()
+
+    profiler = run(build)
+    record = {a.routine: a.cost for a in profiler.db.activations}
+    assert record["g"] == 7
+    assert record["f"] == 13
+
+
+def test_unmatched_return_is_ignored():
+    trace = Trace(1)
+    trace.ret()
+    trace.call("f")
+    trace.read(0)
+    trace.ret()
+    trace.ret()
+    profiler = RmsProfiler(keep_activations=True)
+    replay(merge_traces([trace]), profiler)
+    assert sizes(profiler, "f") == [1]
+
+
+def test_finish_unwinds_pending_activations():
+    trace = Trace(1)
+    trace.call("main")
+    trace.read(0)
+    profiler = RmsProfiler(keep_activations=True)
+    replay(merge_traces([trace]), profiler)
+    assert sizes(profiler, "main") == [1]
+    roots = [a for a in profiler.db.activations if a.routine.startswith("<root:")]
+    assert len(roots) == 1 and roots[0].size == 1
+
+
+def test_kernel_write_is_invisible_to_rms():
+    def build(t):
+        t.call("f")
+        for _ in range(5):
+            t.kernel_write(0)
+            t.read(0)
+        t.ret()
+
+    assert sizes(run(build), "f") == [1]   # the paper's Figure 3: rms = 1
+
+
+def test_kernel_read_counts_as_thread_read():
+    profiler = run(lambda t: (t.call("f"), t.kernel_read(0), t.kernel_read(0), t.ret()))
+    assert sizes(profiler, "f") == [1]
+
+
+def test_multithreaded_rms_is_per_thread_isolated():
+    t1, t2 = Trace(1), Trace(2)
+    t1.call("f")
+    t1.read(0)
+    t2.call("g")
+    t2.write(0)
+    t2.ret()
+    t1.read(0)
+    t1.ret()
+    profiler = RmsProfiler(keep_activations=True)
+    replay(merge_traces([t1, t2]), profiler)
+    f_sizes = [a.size for a in profiler.db.activations if a.routine == "f"]
+    assert f_sizes == [1]   # the foreign write is ignored (Figure 1a: rms_f = 1)
+
+
+def test_chunked_shadow_gives_same_answer():
+    def build(t):
+        t.call("f")
+        t.read(1000)
+        t.read(2000000)
+        t.write(1000)
+        t.read(1000)
+        t.ret()
+
+    plain = run(build)
+    chunked = run(build, use_chunked_shadow=True)
+    assert sizes(plain, "f") == sizes(chunked, "f") == [2]
+    assert chunked.space_bytes() > 0
+
+
+def test_workload_points_accumulate_per_size():
+    def build(t):
+        for n in (1, 1, 2):
+            t.call("f")
+            for addr in range(n):
+                t.read(addr)
+            t.ret()
+
+    profiler = run(build)
+    profile = profiler.db.profile("f", 1)
+    assert profile.workload_points() == [(1, 2), (2, 1)]

@@ -1,0 +1,100 @@
+"""Unit tests for the shadow run-time stack."""
+
+import pytest
+
+from repro.core import ShadowStack
+
+
+def make_stack(timestamps):
+    stack = ShadowStack()
+    for index, ts in enumerate(timestamps):
+        stack.push(f"r{index}", ts, cost=0)
+    return stack
+
+
+def test_push_pop_lifo():
+    stack = ShadowStack()
+    stack.push("a", 1, 0)
+    stack.push("b", 2, 5)
+    assert len(stack) == 2
+    assert stack.top.rtn == "b"
+    entry = stack.pop()
+    assert entry.rtn == "b"
+    assert entry.cost == 5
+    assert stack.top.rtn == "a"
+
+
+def test_parent():
+    stack = make_stack([1, 4, 9])
+    assert stack.parent().rtn == "r1"
+    stack.pop()
+    stack.pop()
+    assert stack.parent() is None
+
+
+def test_bool_and_len():
+    stack = ShadowStack()
+    assert not stack
+    stack.push("a", 1, 0)
+    assert stack
+    assert len(stack) == 1
+
+
+def test_find_latest_not_after_exact_and_between():
+    stack = make_stack([2, 5, 9])
+    assert stack.find_latest_not_after(9).rtn == "r2"
+    assert stack.find_latest_not_after(8).rtn == "r1"
+    assert stack.find_latest_not_after(5).rtn == "r1"
+    assert stack.find_latest_not_after(4).rtn == "r0"
+    assert stack.find_latest_not_after(2).rtn == "r0"
+    assert stack.find_latest_not_after(100).rtn == "r2"
+
+
+def test_find_latest_not_after_before_everything():
+    stack = make_stack([10, 20])
+    assert stack.find_latest_not_after(9) is None
+    assert stack.find_latest_not_after(0) is None
+
+
+def test_find_latest_not_after_empty_stack():
+    assert ShadowStack().find_latest_not_after(5) is None
+
+
+def test_find_latest_not_after_single_entry():
+    stack = make_stack([7])
+    assert stack.find_latest_not_after(7).rtn == "r0"
+    assert stack.find_latest_not_after(6) is None
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 17, 64])
+def test_find_latest_linear_reference(depth):
+    """Binary search agrees with a linear scan at every query point."""
+    timestamps = [3 * i + 1 for i in range(depth)]
+    stack = make_stack(timestamps)
+    for query in range(3 * depth + 3):
+        expected = None
+        for entry in stack.entries:
+            if entry.ts <= query:
+                expected = entry
+        assert stack.find_latest_not_after(query) is expected
+
+
+def test_suffix_partial_sum():
+    stack = make_stack([1, 2, 3])
+    stack.entries[0].partial = 5
+    stack.entries[1].partial = -1
+    stack.entries[2].partial = 2
+    assert stack.suffix_partial_sum(0) == 6
+    assert stack.suffix_partial_sum(1) == 1
+    assert stack.suffix_partial_sum(2) == 2
+    assert stack.suffix_partial_sum(3) == 0
+
+
+def test_entry_carries_attribution_counters():
+    stack = make_stack([1])
+    entry = stack.top
+    assert entry.induced_thread == 0
+    assert entry.induced_external == 0
+    entry.induced_thread += 2
+    entry.induced_external += 1
+    assert (entry.induced_thread, entry.induced_external) == (2, 1)

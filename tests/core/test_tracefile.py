@@ -1,0 +1,95 @@
+"""Tests for trace persistence."""
+
+import io
+
+import pytest
+
+from repro.core import (
+    EventBus,
+    RmsProfiler,
+    TraceWriter,
+    TrmsProfiler,
+    iter_trace,
+    read_trace,
+    replay,
+    write_trace,
+)
+from repro.core.tracefile import TraceFileError
+from repro.vm import programs
+
+from .util import db_snapshot
+
+
+def record_scenario(scenario, **kwargs):
+    buffer = io.StringIO()
+    writer = TraceWriter(buffer)
+    scenario.run(tools=writer, **kwargs)
+    buffer.seek(0)
+    return buffer, writer.events_written
+
+
+def test_roundtrip_preserves_analysis():
+    """Live profiling and trace-replay profiling are indistinguishable."""
+    live = TrmsProfiler(keep_activations=True)
+    buffer, _ = record_scenario(programs.producer_consumer(12))
+    # run the same scenario live
+    programs.producer_consumer(12).run(tools=EventBus([live]))
+    replayed = TrmsProfiler(keep_activations=True)
+    replay(read_trace(buffer), replayed)
+    assert db_snapshot(live.db) == db_snapshot(replayed.db)
+
+
+def test_event_count_matches():
+    buffer, written = record_scenario(programs.buffered_read(6))
+    assert written == len(read_trace(buffer))
+    assert written > 0
+
+
+def test_iter_trace_is_lazy_and_equal():
+    buffer, _ = record_scenario(programs.figure_1a())
+    events_eager = read_trace(buffer)
+    buffer.seek(0)
+    events_lazy = list(iter_trace(buffer))
+    assert events_eager == events_lazy
+
+
+def test_bad_header_rejected():
+    with pytest.raises(TraceFileError, match="not a trace file"):
+        read_trace(io.StringIO("something else\nC\t1\tf\n"))
+
+
+def test_bad_line_rejected():
+    with pytest.raises(TraceFileError, match="line 2"):
+        read_trace(io.StringIO("repro-trace 1\ngarbage\n"))
+
+
+def test_bad_argument_rejected():
+    with pytest.raises(TraceFileError, match="bad argument"):
+        read_trace(io.StringIO("repro-trace 1\nr\t1\tnotanumber\n"))
+
+
+def test_tab_in_routine_name_rejected():
+    buffer = io.StringIO()
+    writer = TraceWriter(buffer)
+    with pytest.raises(TraceFileError):
+        writer.on_call(1, "evil\tname")
+
+
+def test_write_trace_helper():
+    buffer, _ = record_scenario(programs.sum_array([1, 2, 3]))
+    events = read_trace(buffer)
+    out = io.StringIO()
+    count = write_trace(events, out)
+    assert count == len(events)
+    out.seek(0)
+    assert read_trace(out) == events
+
+
+def test_kernel_events_roundtrip():
+    buffer, _ = record_scenario(programs.buffered_read(4))
+    rms = RmsProfiler(keep_activations=True)
+    trms = TrmsProfiler(keep_activations=True)
+    replay(read_trace(buffer), EventBus([rms, trms]))
+    external = [a for a in trms.db.activations if a.routine == "externalRead"][0]
+    assert external.induced_external == 4
+    assert [a for a in rms.db.activations if a.routine == "externalRead"][0].size == 1

@@ -1,0 +1,303 @@
+"""Unit tests for the TRMS profiler — the paper's worked examples.
+
+Each of the paper's synthetic examples (Figures 1a, 1b, 2, 3 and the
+Section 3 asymptotics scenario) is encoded as an explicit interleaved
+trace and checked against the rms/trms values the paper states.
+"""
+
+import itertools
+
+from repro.core import (
+    Event,
+    EventBus,
+    EventKind,
+    NaiveTrms,
+    RmsProfiler,
+    Trace,
+    TrmsProfiler,
+    merge_traces,
+    replay,
+)
+
+
+def shared_clock_traces(*threads):
+    clock = itertools.count(1)
+    tick = lambda: next(clock)
+    return [Trace(t, clock=tick) for t in threads]
+
+
+def run_trms(events):
+    profiler = TrmsProfiler(keep_activations=True)
+    replay(events, profiler)
+    return profiler
+
+
+def activation(profiler, routine):
+    matches = [a for a in profiler.db.activations if a.routine == routine]
+    assert len(matches) == 1, matches
+    return matches[0]
+
+
+def test_figure_1a():
+    """f reads x, g (other thread) writes x, f reads x again."""
+    t1, t2 = shared_clock_traces(1, 2)
+    t1.call("f")
+    t1.read(100)
+    t2.call("g")
+    t2.write(100)
+    t2.ret()
+    t1.read(100)
+    t1.ret()
+    profiler = run_trms(merge_traces([t1, t2]))
+    f = activation(profiler, "f")
+    assert f.size == 2
+    assert f.induced_thread == 1
+    assert f.induced_external == 0
+    # rms of the same execution is 1
+    rms = RmsProfiler(keep_activations=True)
+    replay(merge_traces([t1, t2]), rms)
+    assert activation(rms, "f").size == 1
+
+
+def test_figure_1b():
+    """f reads x, h (child of f) reads x after a foreign write, f reads x
+    again with no further foreign write: trms_f = 2, trms_h = 1."""
+    t1, t2 = shared_clock_traces(1, 2)
+    t1.call("f")
+    t1.read(100)                    # first-access for f
+    t2.call("g")
+    t2.write(100)                   # foreign write
+    t2.ret()
+    t1.call("h")
+    t1.read(100)                    # induced first-access (for h and f)
+    t1.ret()
+    t1.read(100)                    # NOT induced: f accessed x via h already
+    t1.ret()
+    profiler = run_trms(merge_traces([t1, t2]))
+    f = activation(profiler, "f")
+    h = activation(profiler, "h")
+    assert h.size == 1
+    assert h.induced_thread == 1    # paper: classify as induced, not plain
+    assert f.size == 2
+    assert f.induced_thread == 1
+
+
+def test_figure_2_producer_consumer():
+    """n produced values into one cell: rms_consumer = 1, trms_consumer = n."""
+    n = 8
+    t1, t2 = shared_clock_traces(1, 2)
+    t1.call("producer")
+    t2.call("consumer")
+    for _ in range(n):
+        t1.call("produceData")
+        t1.write(500)
+        t1.ret()
+        t2.call("consumeData")
+        t2.read(500)
+        t2.ret()
+    t1.ret()
+    t2.ret()
+    events = merge_traces([t1, t2])
+
+    trms = TrmsProfiler(keep_activations=True)
+    rms = RmsProfiler(keep_activations=True)
+    replay(events, EventBus([trms, rms]))
+
+    assert activation(trms, "consumer").size == n
+    assert activation(trms, "consumer").induced_thread == n
+    assert activation(rms, "consumer").size == 1
+    # every consumeData activation has trms 1 (one fresh value)
+    consume = [a for a in trms.db.activations if a.routine == "consumeData"]
+    assert [a.size for a in consume] == [1] * n
+
+
+def test_figure_3_buffered_external_read():
+    """2n cells loaded from a device into a 2-cell buffer; only b[0] is
+    read each iteration: rms = 1, trms = n (external)."""
+    n = 6
+    trace = Trace(1)
+    trace.call("externalRead")
+    for _ in range(n):
+        trace.kernel_write(700, size=2)   # OS fills b[0], b[1]
+        trace.read(700)                   # only b[0] is processed
+    trace.ret()
+    events = merge_traces([trace])
+
+    trms = TrmsProfiler(keep_activations=True)
+    rms = RmsProfiler(keep_activations=True)
+    replay(events, EventBus([trms, rms]))
+
+    ext = activation(trms, "externalRead")
+    assert ext.size == n
+    assert ext.induced_external == n
+    assert ext.induced_thread == 0
+    assert activation(rms, "externalRead").size == 1
+
+
+def test_unread_buffer_cells_do_not_count():
+    """A kernel fill alone contributes nothing until cells are read."""
+    trace = Trace(1)
+    trace.call("f")
+    trace.kernel_write(0, size=16)
+    trace.ret()
+    profiler = run_trms(merge_traces([trace]))
+    assert activation(profiler, "f").size == 0
+
+
+def test_local_write_suppresses_induced():
+    """A local write after the foreign write re-claims the cell."""
+    t1, t2 = shared_clock_traces(1, 2)
+    t1.call("f")
+    t2.call("g")
+    t2.write(9)
+    t2.ret()
+    t1.write(9)    # local write after the foreign one
+    t1.read(9)     # reads its own value: no input
+    t1.ret()
+    profiler = run_trms(merge_traces([t1, t2]))
+    f = activation(profiler, "f")
+    assert f.size == 0
+    assert f.induced_thread == 0
+
+
+def test_induced_counts_once_per_foreign_write():
+    t1, t2 = shared_clock_traces(1, 2)
+    t1.call("f")
+    t2.call("g")
+    t2.write(9)
+    t2.ret()
+    t1.read(9)
+    t1.read(9)   # second read: f already accessed the cell
+    t1.ret()
+    profiler = run_trms(merge_traces([t1, t2]))
+    assert activation(profiler, "f").size == 1
+
+
+def test_kernel_refill_of_same_cell_counts_each_time():
+    trace = Trace(1)
+    trace.call("f")
+    trace.kernel_write(3)
+    trace.read(3)
+    trace.kernel_write(3)
+    trace.read(3)
+    trace.ret()
+    profiler = run_trms(merge_traces([trace]))
+    f = activation(profiler, "f")
+    assert f.size == 2
+    assert f.induced_external == 2
+
+
+def test_kernel_read_consumes_guest_memory_as_input():
+    """Sending a foreign-written buffer out counts as induced input."""
+    t1, t2 = shared_clock_traces(1, 2)
+    t2.call("g")
+    t2.write(40)
+    t2.write(41)
+    t2.ret()
+    t1.call("send")
+    t1.kernel_read(40, size=2)
+    t1.ret()
+    profiler = run_trms(merge_traces([t1, t2]))
+    send = activation(profiler, "send")
+    assert send.size == 2
+    assert send.induced_thread == 2
+
+
+def test_attribution_tracks_latest_writer_kind():
+    """A thread write after a kernel fill makes the input thread-induced."""
+    t1, t2 = shared_clock_traces(1, 2)
+    t1.call("f")
+    t1.kernel_write(5)
+    t2.call("g")
+    t2.write(5)
+    t2.ret()
+    t1.read(5)
+    t1.ret()
+    profiler = run_trms(merge_traces([t1, t2]))
+    f = activation(profiler, "f")
+    assert f.induced_thread == 1
+    assert f.induced_external == 0
+
+
+def test_section3_asymptotics_scenario():
+    """Activation r_i costs i, performs ceil(i/2) first accesses and
+    floor(i/2) induced ones: trms_i = i while rms_i = ceil(i/2)."""
+    n = 9
+    t1, t2 = shared_clock_traces(1, 2)
+    t2.call("writer")
+    next_fresh = 1000
+    for i in range(1, n + 1):
+        first = (i + 1) // 2
+        induced = i // 2
+        t1.call("r")
+        base = next_fresh
+        for _ in range(first):          # fresh cells: plain first-accesses
+            t1.read(next_fresh)
+            next_fresh += 1
+        for k in range(induced):        # foreign writes mid-activation
+            t2.write(base + k)
+        for k in range(induced):        # re-reads: induced, invisible to rms
+            t1.read(base + k)
+        t1.cost(i)
+        t1.ret()
+    t2.ret()
+    events = merge_traces([t1, t2])
+    trms = TrmsProfiler(keep_activations=True)
+    rms = RmsProfiler(keep_activations=True)
+    replay(events, EventBus([trms, rms]))
+    trms_sizes = [a.size for a in trms.db.activations if a.routine == "r"]
+    rms_sizes = [a.size for a in rms.db.activations if a.routine == "r"]
+    assert trms_sizes == list(range(1, n + 1))
+    assert rms_sizes == [(i + 1) // 2 for i in range(1, n + 1)]
+    # trms yields n distinct plot points; rms collapses pairs
+    assert len(set(trms_sizes)) == n
+    assert len(set(rms_sizes)) == (n + 1) // 2
+
+
+def test_inequality_trms_ge_rms_on_example():
+    """Inequality 1 on a mixed trace, checked activation by activation."""
+    t1, t2 = shared_clock_traces(1, 2)
+    t1.call("a")
+    t1.read(1)
+    t2.call("b")
+    t2.write(1)
+    t2.write(2)
+    t2.ret()
+    t1.read(1)
+    t1.read(2)
+    t1.kernel_write(3)
+    t1.read(3)
+    t1.ret()
+    events = merge_traces([t1, t2])
+    trms = TrmsProfiler(keep_activations=True)
+    rms = RmsProfiler(keep_activations=True)
+    replay(events, EventBus([trms, rms]))
+    trms_by_key = {(a.routine, a.thread): a.size for a in trms.db.activations}
+    for a in rms.db.activations:
+        assert trms_by_key[(a.routine, a.thread)] >= a.size
+
+
+def test_global_induced_tallies():
+    t1, t2 = shared_clock_traces(1, 2)
+    t2.call("w")
+    t2.write(0)
+    t2.ret()
+    t1.call("f")
+    t1.read(0)        # thread-induced
+    t1.kernel_write(1)
+    t1.read(1)        # external
+    t1.ret()
+    profiler = run_trms(merge_traces([t1, t2]))
+    assert profiler.db.total_induced() == (1, 1)
+
+
+def test_space_accounting_includes_global_shadows():
+    profiler = TrmsProfiler(use_chunked_shadow=True)
+    trace = Trace(1)
+    trace.call("f")
+    trace.write(0)
+    trace.read(0)
+    trace.ret()
+    replay(merge_traces([trace]), profiler)
+    # thread shadow + wts + writer shadows must all be accounted
+    assert profiler.space_bytes() >= 3 * 4096 * 4

@@ -1,0 +1,91 @@
+"""Shared helpers for core tests: trace generation and database snapshots."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core import Event, EventKind, ProfileDatabase
+
+ROUTINES = ["f", "g", "h", "k"]
+THREADS = [1, 2, 3]
+ADDRESSES = list(range(8))
+
+
+def db_snapshot(db: ProfileDatabase) -> Dict:
+    """Canonical, comparable representation of a profile database."""
+    profiles = {}
+    for profile in db:
+        points = {
+            size: (stats.calls, stats.cost_min, stats.cost_max, stats.cost_sum)
+            for size, stats in profile.points.items()
+        }
+        profiles[(profile.routine, profile.thread)] = (
+            points,
+            profile.calls,
+            profile.size_sum,
+            profile.cost_sum,
+            profile.induced_thread_sum,
+            profile.induced_external_sum,
+        )
+    return {
+        "profiles": profiles,
+        "activations": sorted(db.activations),
+        "global_induced": db.total_induced(),
+    }
+
+
+class _OpsToEvents:
+    """Expand a generated op list into a merged event stream.
+
+    Ops are tuples driven by hypothesis; this class tracks per-thread
+    pending-call depth so traces stay plausible (returns only close real
+    calls — unmatched returns are exercised by dedicated unit tests, not
+    by the differential property, where both sides define them away).
+    """
+
+    def __init__(self, ops: List[Tuple]):
+        self.ops = ops
+
+    def build(self) -> List[Event]:
+        events: List[Event] = []
+        current_thread = None
+        routine_cycle = itertools.cycle(ROUTINES)
+        for op in self.ops:
+            kind, thread, arg = op
+            if thread != current_thread:
+                events.append(Event(EventKind.THREAD_SWITCH, thread, thread))
+                current_thread = thread
+            if kind == "call":
+                events.append(Event(EventKind.CALL, thread, next(routine_cycle)))
+            elif kind == "return":
+                events.append(Event(EventKind.RETURN, thread, None))
+            elif kind == "read":
+                events.append(Event(EventKind.READ, thread, arg))
+            elif kind == "write":
+                events.append(Event(EventKind.WRITE, thread, arg))
+            elif kind == "kread":
+                events.append(Event(EventKind.KERNEL_READ, thread, arg))
+            elif kind == "kwrite":
+                events.append(Event(EventKind.KERNEL_WRITE, thread, arg))
+            elif kind == "cost":
+                events.append(Event(EventKind.COST, thread, arg))
+        return events
+
+
+def op_strategy():
+    """One random trace operation: (kind, thread, arg)."""
+    kinds = st.sampled_from(
+        ["call", "call", "return", "read", "read", "read", "write", "write",
+         "kread", "kwrite", "cost"]
+    )
+    return st.tuples(kinds, st.sampled_from(THREADS), st.sampled_from(ADDRESSES))
+
+
+def events_strategy(max_ops: int = 120):
+    """A merged event stream from a random op list."""
+    return st.lists(op_strategy(), min_size=0, max_size=max_ops).map(
+        lambda ops: _OpsToEvents(ops).build()
+    )

@@ -1,0 +1,88 @@
+"""Tests for the guess-ratio empirical bound method."""
+
+import math
+import random
+
+import pytest
+
+from repro.curvefit import empirical_bound, model_by_name, ratio_test
+
+
+SIZES = [4, 8, 16, 32, 64, 128, 256]
+
+
+def plot(fn):
+    return [(n, fn(n)) for n in SIZES]
+
+
+def test_linear_data_accepts_linear_bound_tightly():
+    verdict = ratio_test(plot(lambda n: 3 * n), model_by_name("O(n)"))
+    assert verdict.is_upper_bound
+    assert verdict.is_tight
+    assert verdict.verdict == "tight"
+
+
+def test_linear_data_rejects_log_bound():
+    verdict = ratio_test(plot(lambda n: 3 * n), model_by_name("O(log n)"))
+    assert not verdict.is_upper_bound
+    assert verdict.verdict == "rejected"
+
+
+def test_linear_data_accepts_quadratic_bound_loosely():
+    verdict = ratio_test(plot(lambda n: 3 * n), model_by_name("O(n^2)"))
+    assert verdict.is_upper_bound
+    assert not verdict.is_tight
+    assert verdict.verdict == "loose"
+
+
+def test_nlogn_data_rejects_linear():
+    verdict = ratio_test(plot(lambda n: n * math.log2(n)), model_by_name("O(n)"))
+    assert not verdict.is_upper_bound
+
+
+def test_nlogn_data_tight_against_nlogn():
+    verdict = ratio_test(plot(lambda n: 5 * n * math.log2(n + 1)),
+                         model_by_name("O(n log n)"))
+    assert verdict.is_tight
+
+
+def test_empirical_bound_walks_family_in_order():
+    assert empirical_bound(plot(lambda n: 9)).model.name == "O(1)"
+    assert empirical_bound(plot(lambda n: 2 * n)).model.name == "O(n)"
+    assert empirical_bound(plot(lambda n: n * n)).model.name == "O(n^2)"
+
+
+def test_empirical_bound_with_noise():
+    rng = random.Random(3)
+    noisy = [(n, n * n * (1 + rng.uniform(-0.05, 0.05))) for n in SIZES]
+    verdict = empirical_bound(noisy)
+    assert verdict.model.name in ("O(n^2)", "O(n log n)")
+    assert verdict.is_upper_bound
+
+
+def test_lower_order_transient_is_forgiven():
+    # f(n) = n + 1000: the constant dominates early sizes, but the tail
+    # ratios flatten — still Theta(n)
+    verdict = ratio_test(plot(lambda n: n + 1000), model_by_name("O(n)"))
+    assert verdict.is_upper_bound
+
+
+def test_requires_four_points():
+    with pytest.raises(ValueError):
+        ratio_test([(1, 1), (2, 2), (3, 3)], model_by_name("O(n)"))
+
+
+def test_bound_agrees_with_profiler_output():
+    """End to end: guess-ratio on a real profile (VM insertion sort)."""
+    from repro.core import EventBus, RmsProfiler
+    from repro.vm import programs
+
+    points = []
+    for n in (8, 16, 32, 64, 96):
+        profiler = RmsProfiler(keep_activations=True)
+        programs.insertion_sort(list(range(n, 0, -1))).run(tools=EventBus([profiler]))
+        record = [a for a in profiler.db.activations if a.routine == "insertion_sort"][0]
+        points.append((record.size, record.cost))
+    assert not ratio_test(points, model_by_name("O(n)")).is_upper_bound
+    verdict = ratio_test(points, model_by_name("O(n^2)"))
+    assert verdict.is_upper_bound

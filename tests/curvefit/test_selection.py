@@ -1,0 +1,90 @@
+"""Unit tests for growth-class selection."""
+
+import math
+import random
+
+import pytest
+
+from repro.curvefit import DEFAULT_FAMILY, classify_growth, rank_models, select_model
+
+
+def clean(fn, sizes=range(4, 80)):
+    return [(n, fn(n)) for n in sizes]
+
+
+def noisy(fn, sizes=range(4, 80), noise=0.03, seed=7):
+    rng = random.Random(seed)
+    return [(n, fn(n) * (1.0 + rng.uniform(-noise, noise))) for n in sizes]
+
+
+def test_classifies_constant():
+    assert classify_growth(clean(lambda n: 12.0)) == "O(1)"
+
+
+def test_classifies_logarithmic():
+    assert classify_growth(clean(lambda n: 5 * math.log2(n) + 2)) == "O(log n)"
+
+
+def test_classifies_linear():
+    assert classify_growth(clean(lambda n: 7 * n + 100)) == "O(n)"
+
+
+def test_classifies_linearithmic():
+    assert classify_growth(clean(lambda n: 2 * n * math.log2(n + 1))) == "O(n log n)"
+
+
+def test_classifies_quadratic():
+    assert classify_growth(clean(lambda n: 0.5 * n * n + n)) == "O(n^2)"
+
+
+def test_classifies_cubic():
+    assert classify_growth(clean(lambda n: 0.01 * n**3)) == "O(n^3)"
+
+
+def test_classifies_noisy_linear():
+    assert classify_growth(noisy(lambda n: 3 * n + 9)) == "O(n)"
+
+
+def test_classifies_noisy_quadratic():
+    assert classify_growth(noisy(lambda n: n * n)) == "O(n^2)"
+
+
+def test_prefers_slower_model_on_ties():
+    """Constant data fits every model with rss=0 (slope 0); parsimony
+    must pick O(1), not O(n^3)."""
+    selection = select_model(clean(lambda n: 4.0))
+    assert selection.name == "O(1)"
+
+
+def test_ranking_is_sorted_by_rss():
+    ranking = rank_models(clean(lambda n: n * n))
+    rss_values = [result.rss for result in ranking]
+    assert rss_values == sorted(rss_values)
+
+
+def test_selection_exposes_full_ranking():
+    selection = select_model(clean(lambda n: 2 * n))
+    assert len(selection.ranking) == len(DEFAULT_FAMILY)
+    assert selection.best in selection.ranking
+
+
+def test_custom_family():
+    from repro.curvefit import model_by_name
+
+    family = [model_by_name("O(1)"), model_by_name("O(n)")]
+    selection = select_model(clean(lambda n: n * n), family=family)
+    assert selection.name == "O(n)"   # the best available hypothesis
+
+
+def test_empty_plot_raises():
+    with pytest.raises(ValueError):
+        select_model([])
+
+
+def test_figure6_distinction_linear_vs_superlinear():
+    """The Figure 6 scenario: the rms plot looks linear while the trms
+    plot is super-linear; selection must tell them apart."""
+    rms_plot = noisy(lambda n: 40 * n + 300, sizes=range(10, 200, 5))
+    trms_plot = noisy(lambda n: 2 * n * n + 40 * n, sizes=range(10, 200, 5))
+    assert classify_growth(rms_plot) == "O(n)"
+    assert classify_growth(trms_plot) in ("O(n^2)", "O(n^2 log n)")

@@ -1,0 +1,55 @@
+"""Soak tests: heavier concurrent runs through the full stack."""
+
+import pytest
+
+from repro.core import EventBus, RmsProfiler, TrmsProfiler, input_volume
+from repro.minidb import Database, minislap
+from repro.pytrace import TraceSession
+from repro.tools import Helgrind
+from repro.vipslike import vips_pipeline
+
+
+def test_minislap_soak_with_flusher_and_race_detector():
+    """8 clients, background flusher, profilers + helgrind together."""
+    rms = RmsProfiler()
+    trms = TrmsProfiler(keep_activations=True)
+    helgrind = Helgrind()
+    session = TraceSession(tools=EventBus([rms, trms, helgrind]))
+    with session:
+        db = Database(session, page_size=9, pool_frames=4, ring_slots=8)
+        report = minislap(session, db, clients=8, queries_per_client=15,
+                          insert_ratio=0.5, preload_rows=20)
+        # final state is consistent: every insert visible after the drain
+        rows = db.execute("SELECT * FROM load_test")
+    assert len(rows) == report.rows_inserted + 20
+    assert report.queries == 8 * 15
+    # tracked structures are lock-protected: no races
+    assert helgrind.report()["races"] == []
+    # the engine's communication shows up as induced input
+    assert input_volume(rms.db, trms.db) > 0.05
+    assert trms.db.total_induced()[0] > 0        # thread-induced
+    assert trms.db.total_induced()[1] > 0        # external (disk traffic)
+
+
+def test_vips_soak_many_workers_small_timeslice():
+    """Max context-switch pressure: tiny timeslices, several pairs."""
+    trms = TrmsProfiler(keep_activations=True)
+    helgrind = Helgrind()
+    scenario = vips_pipeline(workers=4, strips_per_worker=10)
+    machine = scenario.run(tools=EventBus([trms, helgrind]), timeslice=3)
+    assert helgrind.report()["races"] == []
+    out = machine.devices["imgout"].values
+    assert len(out) == 4 * 10 * 64
+    generates = [a for a in trms.db.activations
+                 if a.routine.startswith("im_generate")]
+    assert len(generates) == 40
+    assert all(a.size == 64 for a in generates)
+
+
+@pytest.mark.parametrize("timeslice", [2, 5, 17, 97])
+def test_suite_terminates_under_extreme_timeslices(timeslice):
+    from repro.workloads import benchmark
+
+    for name in ("350.md", "372.smithwa", "dedup"):
+        machine = benchmark(name).run(threads=3, scale=0.5, timeslice=timeslice)
+        assert machine.stats.total_blocks > 0

@@ -1,0 +1,69 @@
+"""Instrumentation transparency: analysis must never change execution.
+
+A Valgrind tool observes a program; it must not perturb it.  These tests
+run every guest scenario and every registered benchmark twice — natively
+and under the full tool stack — and require identical final guest
+memory, identical device traffic, and identical execution statistics.
+"""
+
+import pytest
+
+from repro.core import EventBus, RmsProfiler, TrmsProfiler
+from repro.tools import TOOL_NAMES, make_tool
+from repro.vm import OutputDevice, programs
+from repro.workloads import all_benchmarks
+
+SCENARIOS = [
+    programs.figure_1a,
+    programs.figure_1b,
+    lambda: programs.producer_consumer(12),
+    lambda: programs.buffered_read(9),
+    lambda: programs.insertion_sort([5, 2, 9, 1, 7]),
+    lambda: programs.merge_sort([4, 4, 1, 9, 0, 3, 8]),
+    lambda: programs.matmul(4),
+    lambda: programs.parallel_sum(3, 6),
+    lambda: programs.locked_increment(3, 5),
+]
+
+
+def final_state(machine):
+    devices = {}
+    for name, device in machine.devices.items():
+        if isinstance(device, OutputDevice):
+            devices[name] = list(device.values)
+        else:
+            devices[name] = device.cursor
+    return {
+        "memory": dict(machine.memory),
+        "devices": devices,
+        "blocks": machine.stats.total_blocks,
+        "instructions": machine.stats.total_instructions,
+        "threads": machine.stats.threads_spawned,
+    }
+
+
+@pytest.mark.parametrize("build", SCENARIOS, ids=lambda b: getattr(b, "__name__", "scenario"))
+def test_scenarios_unperturbed_by_full_tool_stack(build):
+    native = build().run()
+    tools = EventBus([make_tool(name) for name in TOOL_NAMES])
+    instrumented = build().run(tools=tools)
+    assert final_state(native) == final_state(instrumented)
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_benchmarks_unperturbed_by_profilers(bench):
+    native = bench.run(threads=3, scale=0.5)
+    instrumented = bench.run(
+        tools=EventBus([RmsProfiler(), TrmsProfiler()]), threads=3, scale=0.5
+    )
+    assert final_state(native) == final_state(instrumented)
+
+
+def test_profiler_pair_sees_identical_stream():
+    """Two trms profilers on one bus must build identical databases."""
+    first = TrmsProfiler(keep_activations=True)
+    second = TrmsProfiler(keep_activations=True)
+    programs.producer_consumer(10).run(tools=EventBus([first, second]))
+    assert [tuple(a) for a in first.db.activations] == [
+        tuple(a) for a in second.db.activations
+    ]

@@ -1,0 +1,127 @@
+"""Tests for hash indexes: correctness and profile shape."""
+
+import pytest
+
+from repro.core import EventBus, RmsProfiler, TrmsProfiler
+from repro.minidb import Database, SqlError
+from repro.minidb.sql import CreateIndex, parse
+from repro.pytrace import TraceSession
+
+
+def make_db(**kwargs):
+    rms = RmsProfiler(keep_activations=True)
+    trms = TrmsProfiler(keep_activations=True)
+    session = TraceSession(tools=EventBus([rms, trms]))
+    session.__enter__()
+    return session, Database(session, **kwargs), rms, trms
+
+
+def close(session):
+    session.__exit__(None, None, None)
+
+
+def test_parse_create_index():
+    assert parse("CREATE INDEX ON users (age)") == CreateIndex("users", "age")
+    assert parse("create index on t(a);") == CreateIndex("t", "a")
+
+
+def test_index_built_from_existing_rows():
+    session, db, _, _ = make_db()
+    try:
+        db.execute("CREATE TABLE t (a, b)")
+        for i in range(10):
+            db.execute(f"INSERT INTO t VALUES ({i % 3}, {i})")
+        db.execute("CREATE INDEX ON t (a)")
+        assert db.execute("SELECT * FROM t WHERE a = 1") == [
+            [1, 1], [1, 4], [1, 7]
+        ]
+        index = db.indexes[("t", "a")]
+        assert index.lookups == 1
+    finally:
+        close(session)
+
+
+def test_index_maintained_on_insert():
+    session, db, _, _ = make_db()
+    try:
+        db.execute("CREATE TABLE t (a)")
+        db.execute("CREATE INDEX ON t (a)")
+        for i in range(6):
+            db.execute(f"INSERT INTO t VALUES ({i % 2})")
+        assert db.execute("SELECT * FROM t WHERE a = 0") == [[0]] * 3
+        assert db.execute("SELECT * FROM t WHERE a = 1") == [[1]] * 3
+        assert db.execute("SELECT * FROM t WHERE a = 7") == []
+    finally:
+        close(session)
+
+
+def test_index_maintained_on_update():
+    session, db, _, _ = make_db()
+    try:
+        db.execute("CREATE TABLE t (a, b)")
+        db.execute("CREATE INDEX ON t (a)")
+        for i in range(4):
+            db.execute(f"INSERT INTO t VALUES ({i}, 0)")
+        db.execute("UPDATE t SET a = 100 WHERE a < 2")
+        assert db.execute("SELECT * FROM t WHERE a = 100") == [[100, 0], [100, 0]]
+        assert db.execute("SELECT * FROM t WHERE a = 0") == []
+        assert db.execute("SELECT * FROM t WHERE a = 1") == []
+    finally:
+        close(session)
+
+
+def test_index_only_serves_equality():
+    session, db, _, _ = make_db()
+    try:
+        db.execute("CREATE TABLE t (a)")
+        db.execute("CREATE INDEX ON t (a)")
+        for i in range(8):
+            db.execute(f"INSERT INTO t VALUES ({i})")
+        index = db.indexes[("t", "a")]
+        before = index.lookups
+        assert len(db.execute("SELECT * FROM t WHERE a < 4")) == 4   # scan path
+        assert index.lookups == before
+        assert db.execute("SELECT * FROM t WHERE a = 4") == [[4]]    # index path
+        assert index.lookups == before + 1
+    finally:
+        close(session)
+
+
+def test_duplicate_index_rejected():
+    session, db, _, _ = make_db()
+    try:
+        db.execute("CREATE TABLE t (a)")
+        db.execute("CREATE INDEX ON t (a)")
+        with pytest.raises(SqlError):
+            db.execute("CREATE INDEX ON t (a)")
+    finally:
+        close(session)
+
+
+def test_index_on_unknown_column_rejected():
+    session, db, _, _ = make_db()
+    try:
+        db.execute("CREATE TABLE t (a)")
+        with pytest.raises(SqlError):
+            db.execute("CREATE INDEX ON t (nope)")
+    finally:
+        close(session)
+
+
+def test_indexed_point_query_has_smaller_input_than_scan():
+    """The input-sensitive payoff: same query text, different metric."""
+    session, db, rms, _ = make_db(page_size=9, pool_frames=4)
+    try:
+        db.execute("CREATE TABLE t (a, b)")
+        for i in range(60):
+            db.execute(f"INSERT INTO t VALUES ({i}, {i})")
+        db.execute("SELECT * FROM t WHERE a = 30")          # scan (no index)
+        db.execute("CREATE INDEX ON t (a)")
+        db.execute("SELECT * FROM t WHERE a = 30")          # point lookup
+    finally:
+        close(session)
+    selects = [a for a in rms.db.activations if a.routine == "mysql_select"]
+    assert len(selects) == 2
+    scan, indexed = selects
+    assert indexed.size < scan.size / 3
+    assert indexed.cost < scan.cost / 3

@@ -1,0 +1,87 @@
+"""Tests for the SQL subset parser."""
+
+import pytest
+
+from repro.minidb.sql import CreateTable, Insert, Select, SqlError, evaluate, parse
+
+
+def test_parse_create():
+    statement = parse("CREATE TABLE users (id, age)")
+    assert statement == CreateTable("users", ["id", "age"])
+
+
+def test_parse_create_case_insensitive_and_semicolon():
+    statement = parse("create table T (a);")
+    assert statement == CreateTable("T", ["a"])
+
+
+def test_parse_insert():
+    statement = parse("INSERT INTO users VALUES (1, -5)")
+    assert statement == Insert("users", [1, -5])
+
+
+def test_parse_select_star():
+    statement = parse("SELECT * FROM users")
+    assert statement == Select("users", None, None, None)
+
+
+@pytest.mark.parametrize("op", ["=", "<", ">", "<=", ">=", "!="])
+def test_parse_select_where(op):
+    statement = parse(f"SELECT * FROM users WHERE age {op} 30")
+    assert statement == Select("users", "age", op, 30)
+
+
+def test_parse_select_where_negative_literal():
+    statement = parse("SELECT * FROM t WHERE a = -7")
+    assert statement.where_value == -7
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "DROP TABLE users",
+        "SELECT id FROM users",              # only * projection supported
+        "INSERT INTO users VALUES (a, b)",   # non-integer values
+        "CREATE TABLE t ()",
+        "CREATE TABLE t (a, a)",             # duplicate columns
+        "SELECT * FROM",
+    ],
+)
+def test_parse_rejects(bad):
+    with pytest.raises(SqlError):
+        parse(bad)
+
+
+def test_evaluate_ops():
+    assert evaluate("=", 3, 3)
+    assert evaluate("!=", 3, 4)
+    assert evaluate("<", 1, 2)
+    assert evaluate(">", 2, 1)
+    assert evaluate("<=", 2, 2)
+    assert evaluate(">=", 2, 2)
+    assert not evaluate("<", 2, 2)
+
+
+def test_evaluate_unknown_op():
+    with pytest.raises(SqlError):
+        evaluate("~", 1, 2)
+
+
+def test_parse_update_with_where():
+    from repro.minidb.sql import Update
+
+    statement = parse("UPDATE users SET age = 31 WHERE id = 7")
+    assert statement == Update("users", "age", 31, "id", "=", 7)
+
+
+def test_parse_update_without_where():
+    from repro.minidb.sql import Update
+
+    statement = parse("update t set a = -2")
+    assert statement == Update("t", "a", -2, None, None, None)
+
+
+def test_parse_update_rejects_non_integer():
+    with pytest.raises(SqlError):
+        parse("UPDATE t SET a = b")

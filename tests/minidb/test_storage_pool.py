@@ -1,0 +1,133 @@
+"""Direct unit tests for the storage and buffer-pool layers."""
+
+import pytest
+
+from repro.core import EventBus, TrmsProfiler
+from repro.minidb.bufferpool import BufferPool
+from repro.minidb.storage import Disk, DiskManager
+from repro.pytrace import TraceSession, TrackedArray
+
+
+def make_pool(frames=2, page_size=4, tools=None):
+    session = TraceSession(tools=tools)
+    session.__enter__()
+    disk = Disk(page_size=page_size)
+    manager = DiskManager(session, disk)
+    pool = BufferPool(session, manager, frames=frames)
+    return session, disk, manager, pool
+
+
+def test_disk_pages_default_to_zero():
+    disk = Disk(page_size=4)
+    assert disk.page(7) == [0, 0, 0, 0]
+    assert disk.page_count() == 1    # materialised on first touch
+
+
+def test_disk_rejects_bad_page_size():
+    with pytest.raises(ValueError):
+        Disk(page_size=0)
+
+
+def test_disk_manager_read_write_roundtrip():
+    session, disk, manager, _ = make_pool()
+    try:
+        frame = TrackedArray(session, 4)
+        disk.page(3)[:] = [9, 8, 7, 6]
+        manager.read_page(3, frame, 0)
+        assert frame.snapshot() == [9, 8, 7, 6]
+        frame[1] = 88
+        manager.write_page(3, frame, 0)
+        assert disk.page(3) == [9, 88, 7, 6]
+        assert disk.reads == 1 and disk.writes == 1
+    finally:
+        session.__exit__(None, None, None)
+
+
+def test_disk_manager_patch_page():
+    session, disk, manager, _ = make_pool()
+    try:
+        manager.patch_page(5, 1, [42, 43])
+        assert disk.page(5) == [0, 42, 43, 0]
+    finally:
+        session.__exit__(None, None, None)
+
+
+def test_pool_read_write_and_eviction_writeback():
+    session, disk, manager, pool = make_pool(frames=2)
+    try:
+        disk.page(0)[:] = [1, 2, 3, 4]
+        with pool.lock:
+            assert pool.read_cell(0, 1) == 2
+            pool.write_cell(0, 1, 99)           # dirty page 0
+            pool.read_cell(1, 0)                # frame 2 of 2
+            pool.read_cell(2, 0)                # evicts page 0 (LRU) -> writeback
+        assert disk.page(0)[1] == 99
+        with pool.lock:
+            assert pool.read_cell(0, 1) == 99   # re-fetched from disk
+    finally:
+        session.__exit__(None, None, None)
+
+
+def test_pool_invalidate_forces_refetch():
+    session, disk, manager, pool = make_pool()
+    try:
+        disk.page(0)[:] = [5, 5, 5, 5]
+        with pool.lock:
+            assert pool.read_cell(0, 0) == 5
+        disk.page(0)[0] = 77                    # the flusher rewrote the disk
+        with pool.lock:
+            assert pool.read_cell(0, 0) == 5    # stale cache
+            pool.invalidate(0)
+            assert pool.read_cell(0, 0) == 77
+    finally:
+        session.__exit__(None, None, None)
+
+
+def test_pool_flush_all_writes_dirty_frames():
+    session, disk, manager, pool = make_pool(frames=3)
+    try:
+        with pool.lock:
+            pool.write_cell(0, 0, 10)
+            pool.write_cell(1, 0, 20)
+            pool.read_cell(2, 0)                # clean frame
+            pool.flush_all()
+        assert disk.page(0)[0] == 10
+        assert disk.page(1)[0] == 20
+    finally:
+        session.__exit__(None, None, None)
+
+
+def test_pool_hit_ratio_accounting():
+    session, disk, manager, pool = make_pool(frames=2)
+    try:
+        with pool.lock:
+            pool.read_cell(0, 0)
+            pool.read_cell(0, 1)
+            pool.read_cell(0, 2)
+        assert pool.fetches == 3
+        assert pool.hits == 2
+    finally:
+        session.__exit__(None, None, None)
+
+
+def test_pool_rejects_bad_frames():
+    session, disk, manager, _ = make_pool()
+    try:
+        with pytest.raises(ValueError):
+            BufferPool(session, manager, frames=0)
+    finally:
+        session.__exit__(None, None, None)
+
+
+def test_pool_traffic_is_kernel_mediated():
+    """Fetches appear to the profiler as kernel buffer fills."""
+    trms = TrmsProfiler(keep_activations=True)
+    session, disk, manager, pool = make_pool(tools=EventBus([trms]))
+    try:
+        disk.page(0)[:] = [1, 2, 3, 4]
+        with pool.lock:
+            pool.read_cell(0, 0)
+    finally:
+        session.__exit__(None, None, None)
+    roots = [a for a in trms.db.activations if a.routine.startswith("<root:")]
+    assert sum(a.induced_external for a in roots) == 1   # the read cell only

@@ -1,0 +1,135 @@
+"""Tests for sys.setprofile-based automatic tracing."""
+
+import sys
+
+import pytest
+
+from repro.core import EventBus, RmsProfiler, TrmsProfiler
+from repro.pytrace import AutoTracer, TraceSession, default_include, spawn
+
+
+def make_session():
+    profiler = RmsProfiler(keep_activations=True)
+    return TraceSession(tools=EventBus([profiler])), profiler
+
+
+# plain functions: no decorators anywhere
+def leaf(array):
+    return array[0] + array[1]
+
+
+def caller(array):
+    return leaf(array) + leaf(array)
+
+
+def test_auto_traces_undecorated_functions():
+    session, profiler = make_session()
+    with session:
+        array = session.array(4, fill=2)
+        with AutoTracer(session):
+            assert caller(array) == 8
+    routines = {a.routine for a in profiler.db.activations}
+    assert "caller" in routines
+    assert "leaf" in routines
+    leaf_records = [a for a in profiler.db.activations if a.routine == "leaf"]
+    assert len(leaf_records) == 2
+    assert leaf_records[0].size == 2   # two distinct cells
+    caller_record = [a for a in profiler.db.activations if a.routine == "caller"][0]
+    assert caller_record.size == 2     # same two cells, once
+
+
+def test_hook_removed_after_block():
+    session, _ = make_session()
+    with session:
+        with AutoTracer(session):
+            pass
+        assert sys.getprofile() is None
+
+
+def test_previous_profile_restored():
+    sentinel_calls = []
+
+    def sentinel(frame, event, arg):
+        sentinel_calls.append(event)
+
+    session, _ = make_session()
+    sys.setprofile(sentinel)
+    try:
+        with session:
+            with AutoTracer(session):
+                pass
+        assert sys.getprofile() is sentinel
+    finally:
+        sys.setprofile(None)
+
+
+def test_library_internals_are_invisible():
+    session, profiler = make_session()
+    with session:
+        array = session.array(2, fill=1)
+        with AutoTracer(session):
+            leaf(array)   # array.__getitem__ runs repro code inside
+    routines = {a.routine for a in profiler.db.activations}
+    assert "leaf" in routines
+    assert "__getitem__" not in routines
+    assert "emit_read" not in routines
+
+
+def test_default_include_rules():
+    assert default_include(leaf.__code__)
+
+    class FakeCode:
+        def __init__(self, filename):
+            self.co_filename = filename
+
+    assert not default_include(FakeCode("<string>"))
+    assert not default_include(FakeCode("/x/site-packages/foo/bar.py"))
+    import repro.core.rms as rms_module
+
+    assert not default_include(rms_module.RmsProfiler.on_read.__code__)
+
+
+def test_custom_include_predicate():
+    session, profiler = make_session()
+    with session:
+        array = session.array(2, fill=1)
+        with AutoTracer(session, include=lambda code: code.co_name == "leaf"):
+            caller(array)
+    routines = {a.routine for a in profiler.db.activations}
+    assert "leaf" in routines
+    assert "caller" not in routines
+
+
+def test_exception_unwind_balances_stack():
+    def boom(array):
+        array[0]
+        raise RuntimeError("no")
+
+    session, profiler = make_session()
+    with session:
+        array = session.array(1, fill=1)
+        with pytest.raises(RuntimeError):
+            with AutoTracer(session):
+                boom(array)
+    # the exceptional return still closed the activation
+    records = [a for a in profiler.db.activations if a.routine == "boom"]
+    assert len(records) == 1
+    assert records[0].size == 1
+
+
+def test_threads_spawned_inside_block_are_traced():
+    trms = TrmsProfiler(keep_activations=True)
+    session = TraceSession(tools=EventBus([trms]))
+
+    def worker(shared):
+        return shared[0]
+
+    with session:
+        shared = session.array(1)
+        shared[0] = 7
+        with AutoTracer(session):
+            thread = spawn(worker, shared)
+            thread.join()
+    records = [a for a in trms.db.activations if a.routine == "worker"]
+    assert len(records) == 1
+    assert records[0].induced_thread == 1   # main wrote, the worker read

@@ -1,0 +1,363 @@
+"""Tests for the pytrace substrate: sessions, containers, threads, I/O."""
+
+import pytest
+
+from repro.core import EventBus, NaiveTrms, RmsProfiler, TrmsProfiler
+from repro.pytrace import (
+    TraceSession,
+    TracedLock,
+    TrackedArray,
+    TrackedDict,
+    TrackedList,
+    current_session,
+    spawn,
+    traced,
+)
+
+
+def make_session(keep=True):
+    trms = TrmsProfiler(keep_activations=keep)
+    rms = RmsProfiler(keep_activations=keep)
+    return TraceSession(tools=EventBus([trms, rms])), trms, rms
+
+
+def activations(profiler, routine):
+    return [a for a in profiler.db.activations if a.routine == routine]
+
+
+# -- session basics ---------------------------------------------------------------
+
+
+def test_current_session_inside_with_block():
+    session = TraceSession()
+    assert current_session() is None
+    with session:
+        assert current_session() is session
+    assert current_session() is None
+
+
+def test_traced_without_session_is_passthrough():
+    @traced
+    def add(a, b):
+        return a + b
+
+    assert add(2, 3) == 5
+
+
+def test_traced_records_activation_with_size_and_cost():
+    session, trms, _ = make_session()
+
+    @traced
+    def reader(array):
+        return array[0] + array[1]
+
+    with session:
+        array = session.array(4, fill=7)
+        assert reader(array) == 14
+
+    record = activations(trms, "reader")[0]
+    assert record.size == 2
+    assert record.cost >= 3   # one call unit + two op units
+
+
+def test_nested_traced_routines_aggregate():
+    session, trms, _ = make_session()
+
+    @traced
+    def inner(array):
+        return array[0]
+
+    @traced
+    def outer(array):
+        return inner(array) + array[1]
+
+    with session:
+        array = session.array(2, fill=1)
+        outer(array)
+
+    assert activations(trms, "inner")[0].size == 1
+    assert activations(trms, "outer")[0].size == 2
+
+
+def test_traced_propagates_exceptions_and_still_returns():
+    session, trms, _ = make_session()
+
+    @traced
+    def boom():
+        raise RuntimeError("no")
+
+    with session:
+        with pytest.raises(RuntimeError):
+            boom()
+    assert len(activations(trms, "boom")) == 1
+
+
+def test_native_mode_emits_nothing_but_works():
+    session = TraceSession(tools=None)
+    with session:
+        array = session.array(3)
+        array[0] = 5
+        assert array[0] == 5
+        session.kernel_fill(array, 1, [8, 9])
+        assert session.kernel_drain(array, 1, 2) == [8, 9]
+    assert session.ops > 0
+
+
+def test_charge_explicit_cost():
+    session, trms, _ = make_session()
+
+    @traced
+    def compute():
+        session.charge(50)
+
+    with session:
+        compute()
+    assert activations(trms, "compute")[0].cost >= 51
+
+
+# -- containers -----------------------------------------------------------------------
+
+
+def test_tracked_array_semantics():
+    session = TraceSession()
+    with session:
+        array = session.array(3, fill=0)
+        array[1] = 42
+        assert array[1] == 42
+        assert len(array) == 3
+        assert list(array) == [0, 42, 0]
+        assert array.snapshot() == [0, 42, 0]
+        with pytest.raises(IndexError):
+            array[7]
+
+
+def test_tracked_array_negative_index_maps_to_same_cell():
+    session, trms, _ = make_session()
+
+    @traced
+    def touch(array):
+        array[-1] = 5
+        return array[2]
+
+    with session:
+        array = session.array(3)
+        touch(array)
+    # -1 and 2 are the same cell: one write then read -> size 0
+    assert activations(trms, "touch")[0].size == 0
+
+
+def test_tracked_array_rejects_negative_size():
+    session = TraceSession()
+    with session:
+        with pytest.raises(ValueError):
+            session.array(-1)
+
+
+def test_tracked_list_append_pop():
+    session = TraceSession()
+    with session:
+        items = session.list([1, 2])
+        items.append(3)
+        assert len(items) == 3
+        assert items.pop() == 3
+        assert items[0] == 1
+        items[1] = 9
+        assert items.snapshot() == [1, 9]
+
+
+def test_tracked_dict_semantics():
+    session = TraceSession()
+    with session:
+        table = session.dict()
+        table["k"] = 1
+        assert "k" in table
+        assert table["k"] == 1
+        assert table.get("missing", 7) == 7
+        table["k"] = 2
+        assert table.snapshot() == {"k": 2}
+        del table["k"]
+        assert "k" not in table
+        with pytest.raises(KeyError):
+            table["k"]
+
+
+def test_tracked_dict_reinsert_gets_fresh_cell():
+    session = TraceSession()
+    with session:
+        table = session.dict()
+        table["k"] = 1
+        first = table.addr_of("k")
+        del table["k"]
+        table["k"] = 2
+        assert table.addr_of("k") != first
+
+
+def test_dict_value_rewrite_keeps_cell():
+    """Overwriting a value must reuse the cell, so a reader's repeated
+    lookups do not inflate rms."""
+    session, trms, rms = make_session()
+
+    @traced
+    def rewrite(table):
+        table["x"] = 1
+        table["x"] = 2
+        return table["x"]
+
+    with session:
+        rewrite(session.dict())
+    assert activations(rms, "rewrite")[0].size == 0
+
+
+# -- kernel I/O -------------------------------------------------------------------------
+
+
+def test_kernel_fill_then_read_is_external_input():
+    session, trms, rms = make_session()
+
+    @traced
+    def consume(array, count):
+        return sum(array[i] for i in range(count))
+
+    with session:
+        array = session.array(8)
+        for _ in range(3):
+            session.kernel_fill(array, 0, [1, 2])
+            consume(array, 1)   # only cell 0 is read
+
+    records = activations(trms, "consume")
+    assert [r.size for r in records] == [1, 1, 1]
+    assert all(r.induced_external == 1 for r in records)
+    # rms: same cell every time -> only the first activation counts it
+    assert [r.size for r in activations(rms, "consume")] == [1, 1, 1]
+
+
+def test_kernel_drain_counts_as_thread_reads():
+    session, trms, _ = make_session()
+
+    @traced
+    def send(array):
+        return session.kernel_drain(array, 0, 4)
+
+    with session:
+        array = session.array(4)
+
+        @traced
+        def fill(a):
+            for i in range(4):
+                a[i] = i
+
+        fill(array)
+        values = send(array)
+    assert values == [0, 1, 2, 3]
+    record = activations(trms, "send")[0]
+    assert record.size == 4
+
+
+# -- threads ---------------------------------------------------------------------------
+
+
+def test_threads_get_distinct_ids_and_serialized_events():
+    session, trms, _ = make_session()
+
+    @traced
+    def write_cell(array, value):
+        array[0] = value
+
+    with session:
+        array = session.array(1)
+        workers = [spawn(write_cell, array, k) for k in range(3)]
+        for worker in workers:
+            worker.join()
+
+    threads = {a.thread for a in activations(trms, "write_cell")}
+    assert len(threads) == 3
+
+
+def test_producer_consumer_over_python_threads():
+    """The paper's Figure 2 on the pytrace substrate."""
+    import threading
+
+    session, trms, rms = make_session()
+    n = 10
+
+    @traced
+    def consume_one(shared):
+        return shared[0]
+
+    with session:
+        shared = session.array(1)
+        full = threading.Semaphore(0)
+        empty = threading.Semaphore(1)
+
+        @traced
+        def consumer():
+            for _ in range(n):
+                full.acquire()
+                consume_one(shared)
+                empty.release()
+
+        @traced
+        def producer():
+            for value in range(n):
+                empty.acquire()
+                shared[0] = value
+                full.release()
+
+        threads = [spawn(producer), spawn(consumer)]
+        for thread in threads:
+            thread.join()
+
+    consumer_record = activations(trms, "consumer")[0]
+    assert consumer_record.size == n
+    assert consumer_record.induced_thread == n
+    assert activations(rms, "consumer")[0].size == 1
+
+
+def test_spawn_requires_session():
+    with pytest.raises(RuntimeError):
+        spawn(lambda: None)
+
+
+def test_traced_lock_reports_to_helgrind():
+    from repro.tools import Helgrind
+
+    helgrind = Helgrind()
+    session = TraceSession(tools=EventBus([helgrind]))
+    with session:
+        shared = session.array(1)
+        lock = TracedLock(session, "guard")
+
+        def bump():
+            with lock:
+                shared[0] = shared[0] + 1
+
+        workers = [spawn(bump) for _ in range(3)]
+        for worker in workers:
+            worker.join()
+    assert helgrind.report()["races"] == []
+
+
+def test_differential_on_pytrace_stream():
+    """The naive oracle agrees with the efficient profiler on a stream
+    produced by real Python execution (not just generated traces)."""
+    trms = TrmsProfiler(keep_activations=True)
+    oracle = NaiveTrms(keep_activations=True)
+    session = TraceSession(tools=EventBus([trms, oracle]))
+
+    @traced
+    def work(array):
+        total = 0
+        for i in range(len(array)):
+            total += array[i]
+        array[0] = total
+        return total
+
+    with session:
+        array = session.array(16, fill=2)
+        session.kernel_fill(array, 0, [5] * 4)
+        work(array)
+        work(array)
+
+    fast = [(a.routine, a.thread, a.size) for a in trms.db.activations]
+    slow = [(a.routine, a.thread, a.size) for a in oracle.db.activations]
+    assert fast == slow

@@ -1,0 +1,69 @@
+"""Tests for the asymptotic bottleneck ranking."""
+
+import pytest
+
+from repro.core import ProfileDatabase
+from repro.reporting import rank_bottlenecks, render_bottlenecks
+
+
+def db_with(routines):
+    """routines: name -> callable(size) giving the worst-case cost."""
+    db = ProfileDatabase()
+    for name, fn in routines.items():
+        for size in (4, 8, 16, 32, 64):
+            db.add_activation(name, 1, size, int(fn(size)))
+    return db
+
+
+def test_ranks_quadratic_above_linear():
+    db = db_with({
+        "linear": lambda n: 100 * n,          # big constant, gentle growth
+        "quadratic": lambda n: n * n,         # small today, explosive later
+    })
+    ranked = rank_bottlenecks(db)
+    assert [item.routine for item in ranked] == ["quadratic", "linear"]
+    assert ranked[0].growth == "O(n^2)"
+    assert ranked[1].growth == "O(n)"
+
+
+def test_projection_ratio_reflects_growth():
+    db = db_with({"quadratic": lambda n: n * n, "constant": lambda n: 7})
+    ranked = {item.routine: item for item in rank_bottlenecks(db)}
+    # 10x input -> ~100x cost for the quadratic routine
+    assert 50 < ranked["quadratic"].projection_ratio < 150
+    assert ranked["constant"].projection_ratio < 2.0
+
+
+def test_min_points_filter():
+    db = ProfileDatabase()
+    for size in (1, 2):
+        db.add_activation("thin", 1, size, size)
+    assert rank_bottlenecks(db, min_points=4) == []
+    assert len(rank_bottlenecks(db, min_points=2)) == 1
+
+
+def test_ties_broken_by_projected_cost():
+    db = db_with({
+        "small_linear": lambda n: n,
+        "big_linear": lambda n: 1000 * n,
+    })
+    ranked = rank_bottlenecks(db)
+    assert ranked[0].routine == "big_linear"
+
+
+def test_render_contains_rows_and_limit():
+    db = db_with({f"r{i}": (lambda k: (lambda n: (i + 1) * n))(i) for i in range(15)})
+    rendered = render_bottlenecks(db, limit=5)
+    assert "Asymptotic bottleneck ranking" in rendered
+    # header + separator + 5 rows + title
+    assert len(rendered.strip().splitlines()) == 3 + 5
+
+
+def test_works_on_context_keyed_databases():
+    db = ProfileDatabase()
+    for size in (4, 8, 16, 32):
+        db.add_activation("main;f;parse", 1, size, size * size)
+        db.add_activation("main;g;parse", 1, size, size)
+    ranked = rank_bottlenecks(db)
+    assert ranked[0].routine == "main;f;parse"
+    assert ranked[0].growth == "O(n^2)"

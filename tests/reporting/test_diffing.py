@@ -1,0 +1,129 @@
+"""Tests for profile diffing (regression detection)."""
+
+import pytest
+
+from repro.core import ProfileDatabase
+from repro.reporting import diff_databases, render_diff
+
+SIZES = (4, 8, 16, 32, 64)
+
+
+def db_from(routines):
+    db = ProfileDatabase()
+    for name, fn in routines.items():
+        for size in SIZES:
+            db.add_activation(name, 1, size, int(fn(size)))
+    return db
+
+
+def by_routine(diffs):
+    return {diff.routine: diff for diff in diffs}
+
+
+def test_detects_asymptotic_regression():
+    old = db_from({"parse": lambda n: 10 * n})
+    new = db_from({"parse": lambda n: n * n})
+    diff = by_routine(diff_databases(old, new))["parse"]
+    assert diff.verdict == "regressed"
+    assert diff.old_growth == "O(n)"
+    assert diff.new_growth == "O(n^2)"
+
+
+def test_detects_asymptotic_improvement():
+    old = db_from({"sort": lambda n: n * n})
+    new = db_from({"sort": lambda n: 12 * n})
+    assert by_routine(diff_databases(old, new))["sort"].verdict == "improved"
+
+
+def test_constant_factor_slowdown():
+    old = db_from({"scan": lambda n: 10 * n})
+    new = db_from({"scan": lambda n: 25 * n})
+    diff = by_routine(diff_databases(old, new))["scan"]
+    assert diff.verdict == "slower"
+    assert diff.cost_ratio == pytest.approx(2.5, rel=0.1)
+
+
+def test_constant_factor_speedup():
+    old = db_from({"scan": lambda n: 30 * n})
+    new = db_from({"scan": lambda n: 10 * n})
+    assert by_routine(diff_databases(old, new))["scan"].verdict == "faster"
+
+
+def test_unchanged_within_tolerance():
+    old = db_from({"f": lambda n: 10 * n})
+    new = db_from({"f": lambda n: 11 * n})
+    assert by_routine(diff_databases(old, new))["f"].verdict == "unchanged"
+
+
+def test_added_and_removed_routines():
+    old = db_from({"gone": lambda n: n})
+    new = db_from({"fresh": lambda n: n})
+    diffs = by_routine(diff_databases(old, new))
+    assert diffs["gone"].verdict == "removed"
+    assert diffs["fresh"].verdict == "added"
+
+
+def test_unfittable_routines_skipped():
+    old = ProfileDatabase()
+    new = ProfileDatabase()
+    old.add_activation("thin", 1, 1, 1)
+    new.add_activation("thin", 1, 1, 1)
+    assert diff_databases(old, new) == []
+
+
+def test_ordering_puts_regressions_first():
+    old = db_from({
+        "bad": lambda n: n,
+        "meh": lambda n: 10 * n,
+        "good": lambda n: n * n,
+    })
+    new = db_from({
+        "bad": lambda n: n * n,      # regressed
+        "meh": lambda n: 20 * n,     # slower
+        "good": lambda n: 5 * n,     # improved
+    })
+    verdicts = [diff.verdict for diff in diff_databases(old, new)]
+    assert verdicts == ["regressed", "slower", "improved"]
+
+
+def test_render_diff():
+    old = db_from({"parse": lambda n: n})
+    new = db_from({"parse": lambda n: n * n})
+    rendered = render_diff(old, new)
+    assert "Profile diff" in rendered
+    assert "regressed" in rendered
+
+
+def test_end_to_end_catches_a_planted_regression():
+    """Two versions of real profiled code: v2 grows a hidden quadratic."""
+    from repro.core import EventBus, RmsProfiler
+    from repro.pytrace import TraceSession, traced
+
+    def profile_version(version):
+        profiler = RmsProfiler(keep_activations=True)
+        session = TraceSession(tools=EventBus([profiler]))
+
+        @traced
+        def lookup(table, count, key):
+            if version == 1:
+                return table[key]            # O(1) indexed access
+            for i in range(count):           # v2: accidental linear scan
+                if table[i] == key:
+                    return True
+            return False
+
+        @traced
+        def load(table, n):
+            hits = 0
+            for i in range(n):
+                if lookup(table, n, i):
+                    hits += 1
+            return hits
+
+        with session:
+            for n in (4, 8, 16, 32, 48):
+                load(session.array(n, fill=1), n)
+        return profiler.db
+
+    diffs = by_routine(diff_databases(profile_version(1), profile_version(2)))
+    assert diffs["load"].verdict == "regressed"

@@ -1,0 +1,71 @@
+"""Tests for the HTML report renderer."""
+
+import pytest
+
+from repro.core import ProfileDatabase
+from repro.reporting import render_html_report, svg_scatter
+
+
+def sample_db():
+    db = ProfileDatabase()
+    for size in (2, 4, 8, 16):
+        db.add_activation("worker", 1, size, size * size, induced_thread=size // 2)
+        db.add_activation("<root:1>", 1, size, size)
+    db.add_activation("tiny", 2, 1, 1)
+    db.global_induced_thread = 15
+    return db
+
+
+def test_svg_scatter_contains_points_and_axes():
+    svg = svg_scatter([(1, 1), (2, 4), (3, 9)])
+    assert svg.startswith("<svg")
+    assert svg.count("<circle") == 3
+    assert svg.count("<line") == 2
+    assert "9" in svg    # y-max label
+
+
+def test_svg_scatter_empty():
+    assert svg_scatter([]) == '<svg width="320" height="200"></svg>'
+
+
+def test_svg_scatter_single_point_no_division_error():
+    svg = svg_scatter([(5, 5)])
+    assert svg.count("<circle") == 1
+
+
+def test_html_report_structure():
+    html = render_html_report(sample_db(), title="my <session>")
+    assert html.startswith("<!DOCTYPE html>")
+    assert "my &lt;session&gt;" in html           # escaped title
+    assert "worker" in html
+    assert "<svg" in html                          # at least one plot
+    assert "bottleneck ranking" in html
+    assert "100.0% thread" in html
+    assert html.count("<figure>") >= 1
+
+
+def test_html_report_handles_single_point_routines():
+    db = ProfileDatabase()
+    db.add_activation("once", 1, 3, 3)
+    html = render_html_report(db)
+    assert "once" in html
+    assert "No multi-point routines" in html
+
+
+def test_html_report_escapes_routine_names():
+    db = ProfileDatabase()
+    for size in (1, 2, 3, 4):
+        db.add_activation("a<b>&c", 1, size, size)
+    html = render_html_report(db)
+    assert "a&lt;b&gt;&amp;c" in html
+    assert "a<b>&c" not in html
+
+
+def test_html_report_end_to_end_from_profiler():
+    from repro.core import EventBus, TrmsProfiler
+    from repro.vm import programs
+
+    profiler = TrmsProfiler()
+    programs.producer_consumer(12).run(tools=EventBus([profiler]))
+    html = render_html_report(profiler.db, metric="trms")
+    assert "consumer" in html and "producer" in html

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list_shows_both_suites():
+    code, output = run_cli("list")
+    assert code == 0
+    assert "350.md" in output
+    assert "dedup" in output
+    assert "spec-omp2012" in output and "parsec" in output
+
+
+def test_profile_basic():
+    code, output = run_cli("profile", "352.nab", "--threads", "2", "--scale", "0.5")
+    assert code == 0
+    assert "basic blocks" in output
+    assert "rms profile of 352.nab" in output
+    assert "trms profile of 352.nab" in output
+    assert "work_region" in output
+
+
+def test_profile_single_metric():
+    code, output = run_cli("profile", "352.nab", "--metric", "rms",
+                           "--threads", "2", "--scale", "0.5")
+    assert code == 0
+    assert "rms profile" in output
+    assert "trms profile" not in output
+
+
+def test_profile_unknown_benchmark():
+    code, output = run_cli("profile", "999.nothing")
+    assert code == 2
+    assert "error" in output
+
+
+def test_profile_with_plot_and_bottlenecks():
+    code, output = run_cli("profile", "376.kdtree", "--threads", "2",
+                           "--plot", "search", "--bottlenecks")
+    assert code == 0
+    assert "bottleneck ranking" in output
+    assert "worst-case cost plot" in output
+
+
+def test_profile_plot_unknown_routine():
+    code, output = run_cli("profile", "352.nab", "--threads", "2",
+                           "--scale", "0.5", "--plot", "missing_routine")
+    assert code == 2
+
+
+def test_profile_context_sensitive():
+    code, output = run_cli("profile", "376.kdtree", "--threads", "2", "--context")
+    assert code == 0
+    assert ";search" in output    # context keys visible in the report
+
+
+def test_dump_and_fit_roundtrip(tmp_path):
+    dump = tmp_path / "points.tsv"
+    code, _ = run_cli("profile", "376.kdtree", "--threads", "2", "--dump", str(dump))
+    assert code == 0
+    assert dump.exists()
+    code, output = run_cli("fit", str(dump), "search")
+    assert code == 0
+    assert "search:" in output
+    assert "R^2" in output
+
+
+def test_fit_unknown_routine(tmp_path):
+    dump = tmp_path / "points.tsv"
+    run_cli("profile", "376.kdtree", "--threads", "2", "--dump", str(dump))
+    code, output = run_cli("fit", str(dump), "ghost")
+    assert code == 2
+    assert "error" in output
+
+
+def test_profile_with_sampling():
+    code, output = run_cli("profile", "352.nab", "--threads", "2",
+                           "--scale", "0.5", "--sample", "4")
+    assert code == 0
+    assert "lower bounds" in output
+
+
+def test_record_and_analyze_roundtrip(tmp_path):
+    trace = tmp_path / "run.trace"
+    code, output = run_cli("record", "358.botsalgn", str(trace),
+                           "--threads", "2", "--scale", "0.5")
+    assert code == 0
+    assert "recorded" in output
+    assert trace.exists()
+    code, output = run_cli("analyze", str(trace), "--metric", "trms")
+    assert code == 0
+    assert "trms profile" in output
+    assert "do_task" in output
+
+
+def test_analyze_rejects_non_trace(tmp_path):
+    bogus = tmp_path / "bogus.txt"
+    bogus.write_text("hello\n")
+    code, output = run_cli("analyze", str(bogus))
+    assert code == 2
+    assert "error" in output
+
+
+def test_profile_html_report(tmp_path):
+    html_file = tmp_path / "report.html"
+    code, output = run_cli("profile", "376.kdtree", "--threads", "2",
+                           "--html", str(html_file))
+    assert code == 0
+    content = html_file.read_text()
+    assert content.startswith("<!DOCTYPE html>")
+    assert "search" in content

@@ -1,0 +1,568 @@
+"""Tests for the comparator tools: each must actually do its analysis."""
+
+import pytest
+
+from repro.core import EventBus
+from repro.tools import (
+    Callgrind,
+    Helgrind,
+    Memcheck,
+    Nulgrind,
+    TOOL_NAMES,
+    make_tool,
+)
+from repro.vm import InputDevice, Machine, assemble, programs
+
+
+def run(asm, tool, devices=None, pokes=()):
+    machine = Machine(assemble(asm), tools=tool, devices=devices)
+    for base, values in pokes:
+        machine.poke(base, values)
+    machine.run()
+    return machine
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_make_tool_builds_every_registered_tool():
+    for name in TOOL_NAMES:
+        tool = make_tool(name)
+        assert tool is not make_tool(name)   # fresh instances
+
+
+def test_make_tool_unknown():
+    with pytest.raises(KeyError):
+        make_tool("massif")
+
+
+# -- nulgrind ------------------------------------------------------------------
+
+
+def test_nulgrind_counts_events():
+    tool = Nulgrind()
+    run("""
+    func main:
+        const r1, 100
+        store r1, 0, r1
+        load r2, r1, 0
+        ret
+    """, tool)
+    assert tool.report()["events"] > 0
+
+
+# -- memcheck ------------------------------------------------------------------
+
+
+def test_memcheck_flags_uninitialised_read():
+    tool = Memcheck()
+    run("""
+    func main:
+        const r1, 100
+        load r2, r1, 0      ; cell 100 never written
+        ret
+    """, tool)
+    kinds = [kind for kind, _, addr in tool.report()["errors"]]
+    assert "uninitialised-read" in kinds
+
+
+def test_memcheck_accepts_initialised_read():
+    tool = Memcheck()
+    run("""
+    func main:
+        const r1, 100
+        const r2, 5
+        store r1, 0, r2
+        load r3, r1, 0
+        ret
+    """, tool)
+    assert tool.report()["errors"] == []
+
+
+def test_memcheck_kernel_fill_defines_memory():
+    tool = Memcheck()
+    run(
+        """
+        func main:
+            alloci r1, 4
+            const r2, 4
+            sysread r3, r1, r2, dev
+            load r4, r1, 0
+            ret
+        """,
+        tool,
+        devices={"dev": InputDevice([1, 2, 3, 4])},
+    )
+    assert tool.report()["errors"] == []
+    assert tool.report()["heap_blocks"] == 1
+    assert tool.report()["heap_cells"] == 4
+
+
+def test_memcheck_flags_heap_overrun():
+    tool = Memcheck()
+    run("""
+    func main:
+        alloci r1, 2
+        const r2, 9
+        store r1, 5, r2     ; 3 cells past the end of the allocation
+        ret
+    """, tool)
+    kinds = [kind for kind, _, addr in tool.report()["errors"]]
+    assert "invalid-access" in kinds
+
+
+def test_memcheck_flags_undefined_syscall_param():
+    from repro.vm import OutputDevice
+
+    tool = Memcheck()
+    run(
+        """
+        func main:
+            alloci r1, 2
+            const r2, 2
+            syswrite r1, r2, out   ; sending never-written cells
+            ret
+        """,
+        tool,
+        devices={"out": OutputDevice()},
+    )
+    kinds = [kind for kind, _, addr in tool.report()["errors"]]
+    assert "uninitialised-syscall-param" in kinds
+
+
+def test_memcheck_errors_deduplicated_per_address():
+    tool = Memcheck()
+    run("""
+    func main:
+        const r1, 100
+        load r2, r1, 0
+        load r2, r1, 0
+        load r2, r1, 0
+        ret
+    """, tool)
+    assert len(tool.report()["errors"]) == 1
+
+
+def test_memcheck_mark_defined_for_preloaded_data():
+    tool = Memcheck()
+    scenario = programs.sum_array([1, 2, 3])
+    scenario.run(tools=EventBus([tool]))
+    assert tool.report()["errors"] == []
+
+
+def test_memcheck_space_grows_with_footprint():
+    tool = Memcheck()
+    run("""
+    func main:
+        const r1, 100
+        const r2, 0
+        const r3, 50
+    loop:
+        bge r2, r3, done
+        add r4, r1, r2
+        store r4, 0, r2
+        addi r2, r2, 1
+        jmp loop
+    done:
+        ret
+    """, tool)
+    # bit-packed A/V states: 2 bits per tracked cell
+    assert tool.space_bytes() >= 50 // 8
+
+
+# -- callgrind ------------------------------------------------------------------
+
+
+def test_callgrind_builds_call_graph():
+    tool = Callgrind()
+    run("""
+    func main:
+        call a
+        call a
+        call b
+        ret
+    func a:
+        call b
+        ret
+    func b:
+        ret
+    """, tool)
+    report = tool.report()
+    assert report["edges"][("main", "a")] == 2
+    assert report["edges"][("main", "b")] == 1
+    assert report["edges"][("a", "b")] == 2
+    assert report["calls"]["b"] == 3
+    assert report["edges"][(None, "main")] == 1
+
+
+def test_callgrind_inclusive_ge_exclusive():
+    tool = Callgrind()
+    run("""
+    func main:
+        const r1, 0
+        const r2, 5
+    loop:
+        bge r1, r2, done
+        call leaf
+        addi r1, r1, 1
+        jmp loop
+    done:
+        ret
+    func leaf:
+        nop
+        ret
+    """, tool)
+    report = tool.report()
+    for routine in report["inclusive"]:
+        assert report["inclusive"][routine] >= report["exclusive"][routine]
+    assert report["inclusive"]["main"] == sum(report["exclusive"].values())
+
+
+def test_callgrind_recursion_counts_outermost_once():
+    tool = Callgrind()
+    run("""
+    func main:
+        const r0, 4
+        call rec
+        ret
+    func rec:
+        const r13, 0
+        ble r0, r13, base
+        addi r0, r0, -1
+        call rec
+        ret
+    base:
+        ret
+    """, tool)
+    report = tool.report()
+    assert report["calls"]["rec"] == 5
+    # inclusive cost of rec counted once (outermost), so it cannot
+    # exceed main's inclusive cost
+    assert report["inclusive"]["rec"] <= report["inclusive"]["main"]
+
+
+def test_callgrind_top_functions():
+    tool = Callgrind()
+    run("""
+    func main:
+        call busy
+        ret
+    func busy:
+        const r1, 0
+        const r2, 20
+    loop:
+        bge r1, r2, done
+        addi r1, r1, 1
+        jmp loop
+    done:
+        ret
+    """, tool)
+    top = tool.top_functions(1)
+    assert top[0][0] == "main"
+
+
+# -- helgrind -------------------------------------------------------------------
+
+
+def test_helgrind_flags_racy_increment():
+    tool = Helgrind()
+    programs.racy_increment(2, 5).run(tools=EventBus([tool]), timeslice=2)
+    assert len(tool.report()["races"]) >= 1
+    race = tool.report()["races"][0]
+    assert race.addr == 600
+
+
+def test_helgrind_quiet_on_locked_increment():
+    tool = Helgrind()
+    programs.locked_increment(3, 6).run(tools=EventBus([tool]), timeslice=2)
+    assert tool.report()["races"] == []
+
+
+def test_helgrind_quiet_on_semaphore_ordering():
+    tool = Helgrind()
+    programs.producer_consumer(12).run(tools=EventBus([tool]), timeslice=3)
+    assert tool.report()["races"] == []
+
+
+def test_helgrind_quiet_on_fork_join():
+    tool = Helgrind()
+    programs.parallel_sum(3, 6).run(tools=EventBus([tool]), timeslice=4)
+    assert tool.report()["races"] == []
+
+
+def test_helgrind_flags_unordered_write_write():
+    tool = Helgrind()
+    run("""
+    func main:
+        spawn r2, w, r0
+        spawn r3, w, r0
+        join r2
+        join r3
+        ret
+    func w:
+        const r1, 640
+        const r5, 1
+        store r1, 0, r5
+        ret
+    """, tool)
+    races = tool.report()["races"]
+    assert len(races) == 1
+    assert races[0].kind in ("write-after-write", "write-after-read")
+
+
+def test_helgrind_join_creates_order():
+    tool = Helgrind()
+    run("""
+    func main:
+        spawn r2, w, r0
+        join r2
+        const r1, 640
+        load r4, r1, 0      ; ordered by join: no race
+        ret
+    func w:
+        const r1, 640
+        const r5, 1
+        store r1, 0, r5
+        ret
+    """, tool)
+    assert tool.report()["races"] == []
+
+
+def test_helgrind_races_deduplicated_per_address():
+    tool = Helgrind()
+    programs.racy_increment(2, 8).run(tools=EventBus([tool]), timeslice=1)
+    addresses = [race.addr for race in tool.report()["races"]]
+    assert len(addresses) == len(set(addresses))
+
+
+# -- cachegrind -----------------------------------------------------------------
+
+
+def test_cachegrind_sequential_scan_exploits_lines():
+    from repro.tools import CacheConfig, Cachegrind
+
+    tool = Cachegrind(l1=CacheConfig(sets=8, ways=2, line_cells=4))
+    run("""
+    func main:
+        const r1, 0
+        const r2, 64
+    loop:
+        bge r1, r2, done
+        const r3, 4096
+        add r3, r3, r1
+        load r4, r3, 0
+        addi r1, r1, 1
+        jmp loop
+    done:
+        ret
+    """, tool)
+    report = tool.report()
+    # a sequential scan misses once per 4-cell line: ~25% miss rate
+    assert report["l1_accesses"] == 64
+    assert 14 <= report["l1_misses"] <= 18
+
+
+def test_cachegrind_hot_cell_hits():
+    from repro.tools import Cachegrind
+
+    tool = Cachegrind()
+    run("""
+    func main:
+        const r1, 100
+        const r2, 0
+        const r3, 50
+    loop:
+        bge r2, r3, done
+        load r4, r1, 0
+        addi r2, r2, 1
+        jmp loop
+    done:
+        ret
+    """, tool)
+    report = tool.report()
+    assert report["l1_misses"] == 1       # one cold miss, then hits
+    assert report["l1_miss_rate"] < 0.05
+
+
+def test_cachegrind_attributes_misses_to_routines():
+    from repro.tools import CacheConfig, Cachegrind
+
+    tool = Cachegrind(l1=CacheConfig(sets=2, ways=1, line_cells=1))
+    run("""
+    func main:
+        call hot
+        call cold
+        ret
+    func hot:
+        const r1, 100
+        load r2, r1, 0
+        load r2, r1, 0
+        ret
+    func cold:
+        const r1, 200
+        const r2, 0
+        const r3, 8
+    loop:
+        bge r2, r3, done
+        add r4, r1, r2
+        load r5, r4, 0
+        addi r2, r2, 1
+        jmp loop
+    done:
+        ret
+    """, tool)
+    worst = dict(tool.worst_routines())
+    assert worst["cold"] > worst.get("hot", 0)
+
+
+def test_cachegrind_ll_catches_l1_victims():
+    from repro.tools import CacheConfig, Cachegrind
+
+    # tiny L1, big LL: revisiting a working set slightly larger than L1
+    # misses in L1 but hits in LL
+    tool = Cachegrind(
+        l1=CacheConfig(sets=2, ways=1, line_cells=1),
+        ll=CacheConfig(sets=64, ways=4, line_cells=1),
+    )
+    run("""
+    func main:
+        const r5, 0
+        const r6, 4
+    outer:
+        bge r5, r6, done
+        const r1, 100
+        const r2, 0
+        const r3, 6
+    inner:
+        bge r2, r3, onext
+        add r4, r1, r2
+        load r7, r4, 0
+        addi r2, r2, 1
+        jmp inner
+    onext:
+        addi r5, r5, 1
+        jmp outer
+    done:
+        ret
+    """, tool)
+    report = tool.report()
+    assert report["l1_misses"] > report["ll_misses"]
+    assert report["ll_misses"] <= 6        # cold misses only
+
+
+def test_cachegrind_registered_as_extension_tool():
+    from repro.tools import TOOL_NAMES
+
+    tool = make_tool("cachegrind")
+    assert tool.name == "cachegrind"
+    # the Table 1 column set stays the paper's
+    assert "cachegrind" not in TOOL_NAMES
+
+
+def test_cache_config_validation():
+    from repro.tools import CacheConfig
+
+    with pytest.raises(ValueError):
+        CacheConfig(sets=0)
+
+
+# -- memcheck: heap lifecycle ------------------------------------------------------
+
+
+def test_memcheck_use_after_free():
+    tool = Memcheck()
+    run("""
+    func main:
+        alloci r1, 4
+        const r2, 9
+        store r1, 0, r2
+        free r1
+        load r3, r1, 0      ; use after free
+        ret
+    """, tool)
+    kinds = [kind for kind, _, _ in tool.report()["errors"]]
+    assert "invalid-access" in kinds
+
+
+def test_memcheck_double_free():
+    tool = Memcheck()
+    run("""
+    func main:
+        alloci r1, 2
+        free r1
+        free r1
+        ret
+    """, tool)
+    kinds = [kind for kind, _, _ in tool.report()["errors"]]
+    assert "double-free" in kinds
+
+
+def test_memcheck_invalid_free():
+    tool = Memcheck()
+    run("""
+    func main:
+        const r1, 12345
+        free r1             ; never allocated
+        ret
+    """, tool)
+    kinds = [kind for kind, _, _ in tool.report()["errors"]]
+    assert "invalid-free" in kinds
+
+
+def test_memcheck_clean_alloc_free_cycle():
+    tool = Memcheck()
+    run("""
+    func main:
+        alloci r1, 3
+        const r2, 1
+        store r1, 0, r2
+        load r3, r1, 0
+        free r1
+        ret
+    """, tool)
+    report = tool.report()
+    assert report["errors"] == []
+    assert report["frees"] == 1
+    assert report["leaks"] == []
+
+
+def test_memcheck_leak_summary():
+    tool = Memcheck()
+    run("""
+    func main:
+        alloci r1, 3
+        alloci r2, 5
+        free r1
+        ret
+    """, tool)
+    leaks = tool.report()["leaks"]
+    assert len(leaks) == 1
+    assert leaks[0][1] == 5   # the unfreed 5-cell block
+
+
+def test_memcheck_origin_tracking():
+    tool = Memcheck(track_origins=True)
+    run("""
+    func main:
+        const r1, 100
+        const r2, 5
+        store r1, 0, r2
+        ret
+    """, tool)
+    origin = tool.origin_of(100)
+    assert origin is not None
+    thread, store_number = origin
+    assert thread == 1
+    assert store_number >= 1
+    assert tool.origin_of(999) is None
+
+
+def test_memcheck_origin_off_by_default():
+    tool = Memcheck()
+    run("""
+    func main:
+        const r1, 100
+        store r1, 0, r1
+        ret
+    """, tool)
+    assert tool.origin_of(100) is None

@@ -1,0 +1,93 @@
+"""Tests for the vips-like pipeline: Figure 5 / Figure 7 semantics."""
+
+import pytest
+
+from repro.core import EventBus, RmsProfiler, TrmsProfiler
+from repro.tools import Helgrind
+from repro.vipslike import SLOT_CELLS, vips_pipeline
+
+
+def profile(scenario, timeslice=13):
+    rms = RmsProfiler(keep_activations=True)
+    trms = TrmsProfiler(keep_activations=True)
+    machine = scenario.run(tools=EventBus([rms, trms]), timeslice=timeslice)
+    return rms, trms, machine
+
+
+def sizes(profiler, prefix):
+    return [
+        a.size for a in profiler.db.activations if a.routine.startswith(prefix)
+    ]
+
+
+def test_im_generate_rms_is_window_but_trms_is_strip():
+    scenario = vips_pipeline(workers=2, strips_per_worker=6, strip_cells=64, window=16)
+    rms, trms, _ = profile(scenario)
+    rms_sizes = sizes(rms, "im_generate")
+    trms_sizes = sizes(trms, "im_generate")
+    assert len(rms_sizes) == 12
+    assert set(rms_sizes) == {16}       # constant: the reused window
+    assert set(trms_sizes) == {64}      # the true strip size
+
+
+def test_im_generate_trms_tracks_strip_size():
+    for strip_cells in (32, 64, 128):
+        scenario = vips_pipeline(workers=1, strips_per_worker=3,
+                                 strip_cells=strip_cells, window=16)
+        rms, trms, _ = profile(scenario)
+        assert set(sizes(trms, "im_generate")) == {strip_cells}
+        assert set(sizes(rms, "im_generate")) == {16}
+
+
+def test_wbuffer_rms_collapses_to_few_values():
+    """Figure 7a: every wbuffer activation shows nearly the same rms."""
+    scenario = vips_pipeline(workers=3, strips_per_worker=8)
+    rms, trms, _ = profile(scenario, timeslice=9)
+    rms_sizes = sizes(rms, "wbuffer_write_thread")
+    trms_sizes = sizes(trms, "wbuffer_write_thread")
+    assert len(rms_sizes) >= 3
+    assert len(set(rms_sizes)) <= 2                 # the paper's {67, 69}
+    assert all(SLOT_CELLS <= value <= SLOT_CELLS + 8 for value in rms_sizes)
+    # Figure 7b/c: the trms exposes batch-size variation
+    assert len(set(trms_sizes)) > len(set(rms_sizes))
+    assert max(trms_sizes) > max(rms_sizes)
+
+
+def test_wbuffer_input_is_almost_all_induced():
+    scenario = vips_pipeline(workers=2, strips_per_worker=8)
+    _, trms, _ = profile(scenario)
+    records = [
+        a for a in trms.db.activations if a.routine == "wbuffer_write_thread"
+    ]
+    for record in records:
+        induced = record.induced_thread + record.induced_external
+        assert induced >= 0.9 * record.size
+        assert record.induced_external > 0     # metadata from the device
+        assert record.induced_thread > 0       # tiles from the workers
+
+
+def test_all_strips_reach_the_output_device():
+    workers, strips = 2, 5
+    scenario = vips_pipeline(workers=workers, strips_per_worker=strips)
+    machine = scenario.run(timeslice=13)
+    out = machine.devices["imgout"].values
+    assert len(out) == workers * strips * SLOT_CELLS
+
+
+def test_pipeline_is_race_free():
+    helgrind = Helgrind()
+    scenario = vips_pipeline(workers=2, strips_per_worker=6)
+    scenario.run(tools=EventBus([helgrind]), timeslice=7)
+    assert helgrind.report()["races"] == []
+
+
+def test_rejects_bad_window():
+    with pytest.raises(ValueError):
+        vips_pipeline(strip_cells=50, window=16)
+
+
+@pytest.mark.parametrize("timeslice", [5, 13, 40])
+def test_pipeline_terminates_under_any_timeslice(timeslice):
+    scenario = vips_pipeline(workers=2, strips_per_worker=4)
+    machine = scenario.run(timeslice=timeslice)
+    assert machine.stats.total_blocks > 0

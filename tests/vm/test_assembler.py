@@ -1,0 +1,146 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.vm import AsmError, assemble
+
+
+def test_assembles_minimal_program():
+    program = assemble("""
+    func main:
+        const r1, 5
+        ret
+    """)
+    main = program.function("main")
+    assert len(main) == 2
+    assert main.instructions[0].op == "const"
+    assert main.instructions[0].a == 1
+    assert main.instructions[0].b == 5
+
+
+def test_labels_resolve_to_indices():
+    program = assemble("""
+    func main:
+        jmp end
+        nop
+    end:
+        ret
+    """)
+    main = program.function("main")
+    assert main.instructions[0].op == "jmp"
+    assert main.instructions[0].a == 2
+    assert main.labels == {"end": 2}
+
+
+def test_negative_immediates():
+    program = assemble("""
+    func main:
+        addi r1, r1, -3
+        load r2, r1, -1
+        ret
+    """)
+    main = program.function("main")
+    assert main.instructions[0].c == -3
+    assert main.instructions[1].c == -1
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble("""
+    ; a comment
+    func main:
+        nop      ; trailing comment
+        # another comment style
+
+        ret
+    """)
+    assert len(program.function("main")) == 2
+
+
+def test_leaders_function_entry_and_after_terminators():
+    program = assemble("""
+    func main:
+        const r1, 1
+        call f
+        const r2, 2
+        jmp end
+        nop
+    end:
+        ret
+    func f:
+        ret
+    """)
+    main = program.function("main")
+    # entry(0), after call(2), after jmp(4), jmp target 'end'(5)
+    assert main.leaders == {0, 2, 4, 5}
+    assert program.function("f").leaders == {0}
+
+
+def test_branch_targets_are_leaders():
+    program = assemble("""
+    func main:
+        const r1, 3
+    top:
+        beq r1, r1, top
+        ret
+    """)
+    assert 1 in program.function("main").leaders
+
+
+@pytest.mark.parametrize(
+    "snippet, message",
+    [
+        ("nop", "outside any function"),
+        ("func main:\n    frobnicate r1", "unknown opcode"),
+        ("func main:\n    const r1", "expects 2 operand"),
+        ("func main:\n    const r99, 1", "out of range"),
+        ("func main:\n    const rX, 1", "expected register"),
+        ("func main:\n    const r1, abc", "expected integer"),
+        ("func main:\n    jmp nowhere\n    ret", "undefined label"),
+        ("func main:\n    call ghost", "undefined function"),
+        ("func main:\n    ret\nfunc main:\n    ret", "duplicate function"),
+        ("func main:\nl:\nl:\n    ret", "duplicate label"),
+        ("func main\n    ret", "must end with"),
+    ],
+)
+def test_assembly_errors(snippet, message):
+    with pytest.raises(AsmError, match=message):
+        assemble(snippet)
+
+
+def test_missing_entry_function():
+    with pytest.raises(AsmError, match="no entry function"):
+        assemble("func helper:\n    ret")
+
+
+def test_custom_entry():
+    program = assemble("func start:\n    ret", entry="start")
+    assert program.entry == "start"
+
+
+def test_error_carries_line_number():
+    try:
+        assemble("func main:\n    bogus r1")
+    except AsmError as error:
+        assert "line 2" in str(error)
+    else:
+        pytest.fail("expected AsmError")
+
+
+def test_spawn_target_validated():
+    with pytest.raises(AsmError, match="undefined function"):
+        assemble("""
+        func main:
+            spawn r1, ghost, r0
+            ret
+        """)
+
+
+def test_label_at_end_of_function():
+    program = assemble("""
+    func main:
+        jmp end
+    end:
+    """)
+    # label points one past the last instruction: legal, handled by the
+    # machine as an implicit return
+    assert program.function("main").instructions[0].a == 1

@@ -1,0 +1,72 @@
+"""Tests for the disassembler: readable output, reassemblable output."""
+
+import pytest
+
+from repro.core import EventBus, RmsProfiler
+from repro.vm import assemble, disassemble, programs
+from repro.workloads import kernels
+
+
+def roundtrip_equivalent(program):
+    """Disassembled text must reassemble to the same instruction streams."""
+    text = disassemble(program)
+    twin = assemble(text, entry=program.entry)
+    assert set(twin.functions) == set(program.functions)
+    for name, function in program.functions.items():
+        assert twin.functions[name].instructions == function.instructions
+        assert twin.functions[name].leaders == function.leaders
+    return text
+
+
+def test_simple_roundtrip():
+    program = assemble("""
+    func main:
+        const r1, 5
+    top:
+        beq r1, r0, end
+        addi r1, r1, -1
+        jmp top
+    end:
+        ret
+    """)
+    text = roundtrip_equivalent(program)
+    assert "func main:" in text
+    assert "beq r1, r0, L" in text
+
+
+def test_label_at_end_of_function():
+    program = assemble("""
+    func main:
+        jmp end
+    end:
+    """)
+    text = roundtrip_equivalent(program)
+    assert text.rstrip().endswith(":")
+
+
+@pytest.mark.parametrize("build", [
+    programs.figure_1a,
+    lambda: programs.producer_consumer(4),
+    lambda: programs.merge_sort([3, 1, 2]),
+    lambda: programs.matmul(3),
+    lambda: kernels.pairwise_forces(3, 12, iters=2),
+    lambda: kernels.thread_pipeline(6),
+], ids=["fig1a", "prodcons", "mergesort", "matmul", "pairwise", "pipeline"])
+def test_real_programs_roundtrip(build):
+    roundtrip_equivalent(build().program)
+
+
+def test_reassembled_program_runs_identically():
+    scenario = programs.merge_sort([9, 4, 7, 1, 8, 2])
+    original = scenario.program
+    twin = assemble(disassemble(original), entry=original.entry)
+    from repro.vm import Machine
+
+    first = Machine(original)
+    first.poke(programs.DATA_BASE, [9, 4, 7, 1, 8, 2])
+    first.run()
+    second = Machine(twin)
+    second.poke(programs.DATA_BASE, [9, 4, 7, 1, 8, 2])
+    second.run()
+    assert first.memory == second.memory
+    assert first.stats.total_blocks == second.stats.total_blocks

@@ -1,0 +1,575 @@
+"""Unit tests for the VM interpreter, scheduler and synchronization."""
+
+import pytest
+
+from repro.core import EventKind, TraceConsumer
+from repro.vm import (
+    DeadlockError,
+    DeviceError,
+    InputDevice,
+    Machine,
+    OutputDevice,
+    VMError,
+    assemble,
+)
+
+
+class EventLog(TraceConsumer):
+    def __init__(self):
+        self.log = []
+
+    def on_call(self, thread, routine):
+        self.log.append(("call", thread, routine))
+
+    def on_return(self, thread):
+        self.log.append(("return", thread))
+
+    def on_read(self, thread, addr):
+        self.log.append(("read", thread, addr))
+
+    def on_write(self, thread, addr):
+        self.log.append(("write", thread, addr))
+
+    def on_kernel_read(self, thread, addr):
+        self.log.append(("kread", thread, addr))
+
+    def on_kernel_write(self, thread, addr):
+        self.log.append(("kwrite", thread, addr))
+
+    def on_thread_switch(self, thread):
+        self.log.append(("switch", thread))
+
+    def on_cost(self, thread, units):
+        self.log.append(("cost", thread, units))
+
+    def on_lock_acquire(self, thread, lock_id):
+        self.log.append(("acquire", thread, lock_id))
+
+    def on_lock_release(self, thread, lock_id):
+        self.log.append(("release", thread, lock_id))
+
+    def on_thread_create(self, parent, child):
+        self.log.append(("create", parent, child))
+
+    def on_thread_join(self, parent, child):
+        self.log.append(("join", parent, child))
+
+
+def run(asm, devices=None, pokes=(), tools=None, **kwargs):
+    machine = Machine(assemble(asm), tools=tools, devices=devices, **kwargs)
+    for base, values in pokes:
+        machine.poke(base, values)
+    machine.run()
+    return machine
+
+
+def test_arithmetic_and_store():
+    machine = run("""
+    func main:
+        const r1, 6
+        const r2, 7
+        mul r3, r1, r2
+        const r4, 100
+        store r4, 0, r3
+        ret
+    """)
+    assert machine.memory[100] == 42
+
+
+def test_all_arithmetic_ops():
+    machine = run("""
+    func main:
+        const r1, 17
+        const r2, 5
+        add r3, r1, r2
+        sub r4, r1, r2
+        mul r5, r1, r2
+        div r6, r1, r2
+        mod r7, r1, r2
+        addi r8, r1, 3
+        muli r9, r1, -2
+        const r10, 200
+        store r10, 0, r3
+        store r10, 1, r4
+        store r10, 2, r5
+        store r10, 3, r6
+        store r10, 4, r7
+        store r10, 5, r8
+        store r10, 6, r9
+        ret
+    """)
+    assert machine.memory_block(200, 7) == [22, 12, 85, 3, 2, 20, -34]
+
+
+def test_division_by_zero_traps():
+    with pytest.raises(VMError, match="division by zero"):
+        run("""
+        func main:
+            const r1, 1
+            div r2, r1, r0
+            ret
+        """)
+
+
+def test_load_default_zero_and_poke():
+    machine = run(
+        """
+        func main:
+            const r1, 300
+            load r2, r1, 0
+            load r3, r1, 1
+            const r4, 400
+            store r4, 0, r2
+            store r4, 1, r3
+            ret
+        """,
+        pokes=[(300, [9])],
+    )
+    assert machine.memory_block(400, 2) == [9, 0]
+
+
+def test_branches():
+    machine = run("""
+    func main:
+        const r1, 0
+        const r2, 10
+    loop:
+        bge r1, r2, done
+        addi r1, r1, 1
+        jmp loop
+    done:
+        const r3, 500
+        store r3, 0, r1
+        ret
+    """)
+    assert machine.memory[500] == 10
+
+
+def test_call_return_events_and_nesting():
+    log = EventLog()
+    run(
+        """
+        func main:
+            call outer
+            ret
+        func outer:
+            call inner
+            ret
+        func inner:
+            ret
+        """,
+        tools=log,
+    )
+    calls = [entry for entry in log.log if entry[0] in ("call", "return")]
+    assert calls == [
+        ("call", 1, "main"),
+        ("call", 1, "outer"),
+        ("call", 1, "inner"),
+        ("return", 1),
+        ("return", 1),
+        ("return", 1),
+    ]
+
+
+def test_halt_unwinds_all_frames():
+    log = EventLog()
+    run(
+        """
+        func main:
+            call deep
+            ret
+        func deep:
+            halt
+        """,
+        tools=log,
+    )
+    returns = [entry for entry in log.log if entry[0] == "return"]
+    assert len(returns) == 2   # deep and main
+
+
+def test_implicit_return_at_function_end():
+    log = EventLog()
+    run(
+        """
+        func main:
+            call f
+            ret
+        func f:
+            nop
+        """,
+        tools=log,
+    )
+    assert ("return", 1) in log.log
+
+
+def test_alloc_returns_disjoint_blocks():
+    machine = run("""
+    func main:
+        alloci r1, 10
+        alloci r2, 10
+        sub r3, r2, r1
+        const r4, 700
+        store r4, 0, r3
+        ret
+    """)
+    assert machine.memory[700] == 10
+
+
+def test_spawn_join_and_thread_events():
+    log = EventLog()
+    machine = run(
+        """
+        func main:
+            const r1, 5
+            spawn r2, child, r1
+            join r2
+            ret
+        func child:
+            const r3, 800
+            store r3, 0, r0     ; child sees its spawn argument in r0
+            ret
+        """,
+        tools=log,
+    )
+    assert machine.memory[800] == 5
+    assert ("create", 1, 2) in log.log
+    assert ("join", 1, 2) in log.log
+    assert ("call", 2, "child") in log.log
+
+
+def test_join_blocks_until_child_finishes():
+    machine = run("""
+    func main:
+        spawn r2, slow, r0
+        join r2
+        const r1, 900
+        load r3, r1, 0
+        const r4, 901
+        store r4, 0, r3
+        ret
+    func slow:
+        const r5, 0
+        const r6, 200
+    loop:
+        bge r5, r6, done
+        addi r5, r5, 1
+        jmp loop
+    done:
+        const r1, 900
+        const r2, 77
+        store r1, 0, r2
+        ret
+    """, timeslice=5)
+    # main's read of cell 900 must observe the child's write
+    assert machine.memory[901] == 77
+
+
+def test_lock_mutual_exclusion_and_events():
+    log = EventLog()
+    machine = run(
+        """
+        func main:
+            spawn r2, bump, r0
+            spawn r3, bump, r0
+            join r2
+            join r3
+            ret
+        func bump:
+            const r9, 50
+            const r13, 0
+            const r1, 600
+        loop:
+            ble r9, r13, done
+            lock m
+            load r2, r1, 0
+            addi r2, r2, 1
+            store r1, 0, r2
+            unlock m
+            addi r9, r9, -1
+            jmp loop
+        done:
+            ret
+        """,
+        tools=log,
+        timeslice=3,
+    )
+    assert machine.memory[600] == 100
+    acquires = [entry for entry in log.log if entry[0] == "acquire"]
+    releases = [entry for entry in log.log if entry[0] == "release"]
+    assert len(acquires) == len(releases) == 100
+
+
+def test_relock_same_thread_is_an_error():
+    with pytest.raises(VMError, match="re-locking"):
+        run("""
+        func main:
+            lock m
+            lock m
+            ret
+        """)
+
+
+def test_unlock_not_held_is_an_error():
+    with pytest.raises(VMError, match="does not hold"):
+        run("""
+        func main:
+            unlock m
+            ret
+        """)
+
+
+def test_deadlock_detection():
+    with pytest.raises(DeadlockError):
+        run("""
+        func main:
+            semdown never
+            ret
+        """)
+
+
+def test_two_lock_deadlock_detected():
+    with pytest.raises(DeadlockError):
+        run("""
+        func main:
+            lock a
+            spawn r2, other, r0
+            yield
+            lock b
+            ret
+        func other:
+            lock b
+            yield
+            lock a
+            ret
+        """, timeslice=1)
+
+
+def test_semaphores_order_producer_before_consumer():
+    machine = run("""
+    func main:
+        spawn r2, consumer, r0
+        spawn r3, producer, r0
+        join r2
+        join r3
+        ret
+    func producer:
+        const r1, 650
+        const r2, 123
+        store r1, 0, r2
+        semup ready
+        ret
+    func consumer:
+        semdown ready
+        const r1, 650
+        load r2, r1, 0
+        const r3, 651
+        store r3, 0, r2
+        ret
+    """, timeslice=2)
+    assert machine.memory[651] == 123
+
+
+def test_sysread_short_read_and_events():
+    log = EventLog()
+    machine = run(
+        """
+        func main:
+            alloci r1, 8
+            const r2, 8
+            sysread r3, r1, r2, dev
+            const r4, 660
+            store r4, 0, r3
+            ret
+        """,
+        devices={"dev": InputDevice([10, 20, 30])},
+        tools=log,
+    )
+    assert machine.memory[660] == 3   # short read at EOF
+    kwrites = [entry for entry in log.log if entry[0] == "kwrite"]
+    assert len(kwrites) == 3
+
+
+def test_syswrite_drains_memory_to_device():
+    log = EventLog()
+    device = OutputDevice()
+    run(
+        """
+        func main:
+            const r1, 670
+            const r2, 3
+            syswrite r1, r2, out
+            ret
+        """,
+        devices={"out": device},
+        pokes=[(670, [1, 2, 3])],
+        tools=log,
+    )
+    assert device.values == [1, 2, 3]
+    kreads = [entry for entry in log.log if entry[0] == "kread"]
+    assert [entry[2] for entry in kreads] == [670, 671, 672]
+
+
+def test_missing_device_raises():
+    with pytest.raises(DeviceError):
+        run("""
+        func main:
+            const r1, 0
+            const r2, 1
+            sysread r3, r1, r2, ghost
+            ret
+        """)
+
+
+def test_wrong_direction_device_raises():
+    with pytest.raises(DeviceError):
+        run(
+            """
+            func main:
+                const r1, 0
+                const r2, 1
+                syswrite r1, r2, dev
+                ret
+            """,
+            devices={"dev": InputDevice([1])},
+        )
+
+
+def test_cost_events_count_basic_blocks():
+    log = EventLog()
+    machine = run(
+        """
+        func main:
+            const r1, 0
+            const r2, 4
+        loop:
+            bge r1, r2, done
+            addi r1, r1, 1
+            jmp loop
+        done:
+            ret
+        """,
+        tools=log,
+    )
+    costs = sum(entry[2] for entry in log.log if entry[0] == "cost")
+    assert costs == machine.stats.total_blocks
+    # entry block once, loop-head 5 times, body 4 times, done once
+    assert costs == 1 + 5 + 4 + 1
+
+
+def test_native_mode_runs_without_tools():
+    machine = run("""
+    func main:
+        const r1, 100
+        const r2, 1
+        store r1, 0, r2
+        ret
+    """)
+    assert machine.memory[100] == 1
+    assert machine.stats.total_blocks > 0
+
+
+def test_thread_switch_events_precede_thread_activity():
+    log = EventLog()
+    run(
+        """
+        func main:
+            spawn r2, child, r0
+            join r2
+            ret
+        func child:
+            nop
+            ret
+        """,
+        tools=log,
+        timeslice=1,
+    )
+    seen = set()
+    current = None
+    for entry in log.log:
+        if entry[0] == "switch":
+            current = entry[1]
+            seen.add(current)
+        elif entry[0] in ("call", "return", "read", "write", "cost"):
+            assert entry[1] == current   # events only from the running thread
+
+
+def test_step_limit():
+    with pytest.raises(VMError, match="instruction limit"):
+        run("""
+        func main:
+        loop:
+            jmp loop
+        """, max_steps=1000)
+
+
+def test_machine_cannot_run_twice():
+    machine = Machine(assemble("func main:\n    ret"))
+    machine.run()
+    with pytest.raises(VMError, match="already ran"):
+        machine.run()
+
+
+def test_invalid_timeslice():
+    with pytest.raises(ValueError):
+        Machine(assemble("func main:\n    ret"), timeslice=0)
+
+
+def test_stats_per_thread():
+    machine = run("""
+    func main:
+        spawn r2, child, r0
+        join r2
+        ret
+    func child:
+        nop
+        ret
+    """)
+    assert machine.stats.threads_spawned == 2
+    assert set(machine.stats.blocks_by_thread) == {1, 2}
+    assert machine.stats.total_blocks == sum(machine.stats.blocks_by_thread.values())
+
+
+def test_input_device_exhaustion_accounting():
+    device = InputDevice([1, 2, 3])
+    assert not device.exhausted
+    assert device.remaining() == 3
+    assert device.read(2) == [1, 2]
+    assert device.remaining() == 1
+    assert device.read(5) == [3]
+    assert device.exhausted
+    assert device.read(1) == []
+
+
+def test_input_device_rejects_negative_read():
+    with pytest.raises(DeviceError):
+        InputDevice([1]).read(-1)
+
+
+def test_instruction_cost_model():
+    from repro.core import InstructionCost
+
+    log = EventLog()
+    machine = Machine(assemble("""
+    func main:
+        const r1, 1
+        const r2, 2
+        add r3, r1, r2
+        ret
+    """), tools=log, cost_model=InstructionCost())
+    machine.run()
+    costs = sum(entry[2] for entry in log.log if entry[0] == "cost")
+    assert costs == machine.stats.total_instructions
+    assert costs == 4
+
+
+def test_default_cost_model_is_basic_blocks():
+    log = EventLog()
+    machine = Machine(assemble("""
+    func main:
+        const r1, 1
+        const r2, 2
+        ret
+    """), tools=log)
+    machine.run()
+    costs = sum(entry[2] for entry in log.log if entry[0] == "cost")
+    assert costs == machine.stats.total_blocks == 1

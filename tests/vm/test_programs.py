@@ -1,0 +1,201 @@
+"""Tests for the guest program library: functional correctness plus the
+paper's expected rms/trms values on each figure scenario."""
+
+import pytest
+
+from repro.core import EventBus, RmsProfiler, TrmsProfiler
+from repro.vm import programs
+
+
+def profile(scenario, **machine_kwargs):
+    trms = TrmsProfiler(keep_activations=True)
+    rms = RmsProfiler(keep_activations=True)
+    scenario.run(tools=EventBus([trms, rms]), **machine_kwargs)
+    return rms, trms
+
+
+def only(profiler, routine):
+    matches = [a for a in profiler.db.activations if a.routine == routine]
+    assert len(matches) == 1, (routine, matches)
+    return matches[0]
+
+
+def test_figure_1a_values():
+    rms, trms = profile(programs.figure_1a())
+    assert only(rms, "f").size == 1
+    f = only(trms, "f")
+    assert f.size == 2
+    assert f.induced_thread == 1
+    assert f.induced_external == 0
+
+
+def test_figure_1b_values():
+    rms, trms = profile(programs.figure_1b())
+    assert only(rms, "f").size == 1
+    assert only(rms, "h").size == 1
+    assert only(trms, "f").size == 2
+    h = only(trms, "h")
+    assert h.size == 1
+    assert h.induced_thread == 1
+
+
+@pytest.mark.parametrize("items", [1, 7, 32])
+def test_producer_consumer_values(items):
+    rms, trms = profile(programs.producer_consumer(items))
+    assert only(rms, "consumer").size == 1
+    consumer = only(trms, "consumer")
+    assert consumer.size == items
+    assert consumer.induced_thread == items
+    consume_sizes = [a.size for a in trms.db.activations if a.routine == "consumeData"]
+    assert consume_sizes == [1] * items
+
+
+@pytest.mark.parametrize("iterations", [1, 5, 16])
+def test_buffered_read_values(iterations):
+    rms, trms = profile(programs.buffered_read(iterations))
+    assert only(rms, "externalRead").size == 1
+    external = only(trms, "externalRead")
+    assert external.size == iterations
+    assert external.induced_external == iterations
+    assert external.induced_thread == 0
+
+
+def test_insertion_sort_sorts_and_reads_n_cells():
+    values = [9, 1, 8, 2, 7, 3, 6, 4, 5]
+    scenario = programs.insertion_sort(values)
+    rms, trms = profile(scenario)   # scenario.check validates sortedness
+    assert only(rms, "insertion_sort").size == len(values)
+    assert only(trms, "insertion_sort").size == len(values)
+
+
+def test_insertion_sort_cost_grows_quadratically():
+    costs = {}
+    for n in (8, 16, 32):
+        scenario = programs.insertion_sort(list(range(n, 0, -1)))   # worst case
+        _, trms = profile(scenario)
+        costs[n] = only(trms, "insertion_sort").cost
+    # doubling n should roughly quadruple the cost on reversed input
+    assert costs[16] / costs[8] > 3.0
+    assert costs[32] / costs[16] > 3.0
+
+
+def test_binary_search_logarithmic_input():
+    values = list(range(0, 512, 2))
+    scenario = programs.binary_search(values, target=2)   # worst-ish probe path
+    rms, _ = profile(scenario)
+    size = only(rms, "binary_search").size
+    assert 1 <= size <= 10   # ~log2(256) probes
+
+
+def test_binary_search_missing_target():
+    scenario = programs.binary_search([1, 3, 5], target=4)
+    scenario.run()   # check() asserts the result is -1
+
+
+def test_sum_array_reads_everything_once():
+    values = list(range(50))
+    rms, trms = profile(programs.sum_array(values))
+    assert only(rms, "sum_array").size == 50
+    assert only(trms, "sum_array").size == 50
+
+
+def test_matmul_reads_both_operands():
+    n = 5
+    rms, _ = profile(programs.matmul(n))
+    assert only(rms, "matmul").size == 2 * n * n
+
+
+def test_parallel_sum_workers_have_thread_induced_input():
+    workers, chunk = 4, 8
+    _, trms = profile(programs.parallel_sum(workers, chunk), timeslice=7)
+    slices = [a for a in trms.db.activations if a.routine == "sum_slice"]
+    assert len(slices) == workers
+    for record in slices:
+        assert record.size == chunk
+        assert record.induced_thread == chunk
+        assert record.induced_external == 0
+
+
+def test_locked_increment_is_exact():
+    programs.locked_increment(3, 10).run(timeslice=4)
+
+
+def test_racy_increment_runs():
+    machine = programs.racy_increment(2, 4).run(timeslice=2)
+    # with the yield-per-round schedule the lost-update race may or may
+    # not manifest, but the cell is written by both threads
+    assert machine.memory.get(600, 0) >= 1
+
+
+def test_scenarios_are_reusable():
+    scenario = programs.figure_1a()
+    scenario.run()
+    scenario.run()   # fresh Machine each time
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 9, 33, 64])
+def test_merge_sort_sorts(n):
+    import random
+
+    rng = random.Random(n)
+    values = [rng.randrange(1000) for _ in range(n)]
+    if n > 0:
+        programs.merge_sort(values).run()   # check() verifies sortedness
+
+
+def test_merge_sort_rms_is_n_and_cost_linearithmic():
+    values = list(range(64, 0, -1))
+    rms, trms = profile(programs.merge_sort(values))
+    record = only(rms, "merge_sort")
+    assert record.size == 64          # scratch writes never count as input
+    small = only_cost(programs.merge_sort(list(range(16, 0, -1))))
+    big = only_cost(programs.merge_sort(list(range(64, 0, -1))))
+    # 4x input, ~4*log ratio ~ 4*(6/4) = 6x <= ratio <= quadratic would be 16x
+    assert 4.0 < big / small < 10.0
+
+
+def only_cost(scenario):
+    from repro.core import EventBus, RmsProfiler
+
+    profiler = RmsProfiler(keep_activations=True)
+    scenario.run(tools=EventBus([profiler]))
+    return [a for a in profiler.db.activations if a.routine == "merge_sort"][0].cost
+
+
+@pytest.mark.parametrize("n", [1, 5, 20, 60, 100])
+def test_hash_table_inserts_all_keys(n):
+    programs.hash_table(n).run()   # check() verifies count and occupancy
+
+
+def test_hash_table_amortized_insert_profile():
+    """Median insert stays O(1)-ish while rehashes spike linearly."""
+    from repro.core import EventBus, RmsProfiler
+
+    profiler = RmsProfiler(keep_activations=True)
+    programs.hash_table(100).run(tools=EventBus([profiler]))
+    inserts = [a for a in profiler.db.activations if a.routine == "ht_insert"]
+    grows = [a for a in profiler.db.activations if a.routine == "ht_grow"]
+    costs = sorted(a.cost for a in inserts)
+    median = costs[len(costs) // 2]
+    assert median <= 8                       # typical insert: few probes
+    assert max(costs) > 10 * median          # rehash spikes stand out
+    # each rehash reads the whole table: input and cost double in step
+    assert len(grows) >= 3
+    sizes = [a.size for a in grows]
+    assert all(b > 1.5 * a for a, b in zip(sizes, sizes[1:]))
+    # grow cost is linear in its input
+    from repro.curvefit import classify_growth
+
+    assert classify_growth([(a.size, a.cost) for a in grows]) in ("O(n)", "O(n log n)")
+
+
+def test_hash_table_frees_old_tables():
+    from repro.core import EventBus
+    from repro.tools import Memcheck
+
+    tool = Memcheck()
+    programs.hash_table(50).run(tools=EventBus([tool]))
+    report = tool.report()
+    assert report["errors"] == []
+    assert report["frees"] >= 3              # one per rehash
+    assert len(report["leaks"]) == 1         # only the live table remains

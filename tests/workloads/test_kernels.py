@@ -1,0 +1,120 @@
+"""Direct unit tests for the kernel templates and their barrier."""
+
+import pytest
+
+from repro.core import EventBus, TrmsProfiler
+from repro.tools import Helgrind
+from repro.vm import Machine, assemble
+from repro.workloads import kernels
+
+
+def test_barrier_synchronises_iterations():
+    """Without the barrier, a fast worker could lap a slow one; with it,
+    each ping-pong iteration sees the previous one's writes — verified
+    through the stencil's final values being schedule-independent."""
+    results = []
+    for timeslice in (2, 7, 50):
+        scenario = kernels.stencil_sweep(3, 30, iters=4, radius=1)
+        machine = scenario.run(timeslice=timeslice)
+        src = machine.memory_block(kernels.SRC_BASE, 30)
+        dst = machine.memory_block(kernels.DST_BASE, 30)
+        results.append((src, dst))
+    assert results[0] == results[1] == results[2]
+
+
+def test_barrier_degenerate_single_thread():
+    scenario = kernels.stencil_sweep(1, 20, iters=3)
+    machine = scenario.run(timeslice=5)
+    assert machine.stats.total_blocks > 0
+
+
+def test_barrier_absent_for_single_iteration():
+    scenario = kernels.task_loop(3, 9, 4, iters=1)
+    assert "barrier" not in scenario.asm
+    scenario.run()
+
+
+def test_barrier_present_for_multi_iteration_pools():
+    scenario = kernels.stencil_sweep(3, 20, iters=2)
+    assert "func barrier" in scenario.asm
+    helgrind = Helgrind()
+    scenario.run(tools=EventBus([helgrind]), timeslice=3)
+    assert helgrind.report()["races"] == []
+
+
+def test_allgather_reads_span_all_strips():
+    scenario = kernels.allgather_sweep(4, 64, iters=2, samples=16)
+    trms = TrmsProfiler(keep_activations=True)
+    scenario.run(tools=EventBus([trms]), timeslice=9)
+    regions = [a for a in trms.db.activations if a.routine == "work_region"]
+    assert len(regions) == 8
+    # second-iteration regions absorb other workers' writes
+    induced = [a.induced_thread for a in regions]
+    assert sum(induced) > 0
+
+
+def test_tree_build_search_depth_is_logarithmic():
+    scenario = kernels.tree_build(2, 256, 20)
+    trms = TrmsProfiler(keep_activations=True)
+    scenario.run(tools=EventBus([trms]))
+    searches = [a for a in trms.db.activations if a.routine == "search"]
+    assert searches
+    # outermost searches read at most ~log2(256)+1 cells
+    assert max(a.size for a in searches) <= 10
+
+
+def test_monte_carlo_externals_load_portfolio():
+    scenario = kernels.monte_carlo(2, 12, 5, externals=True)
+    trms = TrmsProfiler(keep_activations=True)
+    scenario.run(tools=EventBus([trms]))
+    assert trms.db.total_induced()[1] >= 12   # every path parameter
+
+
+def test_device_filter_drains_full_image():
+    scenario = kernels.device_filter(3, 48)
+    machine = scenario.run(timeslice=7)
+    assert len(machine.devices["image_out"].values) == 48
+
+
+def test_reduction_results_are_deterministic():
+    first = kernels.reduction_kernel(3, 60).run(timeslice=4)
+    second = kernels.reduction_kernel(3, 60).run(timeslice=19)
+    base = kernels.OUT_BASE
+    assert first.memory_block(base, 3) == second.memory_block(base, 3)
+
+
+def test_pool_asm_worker_contract_registers_preserved():
+    """The skeleton's reserved registers survive a work_region that
+    clobbers everything else — verified by iteration completion."""
+    work = """
+    func work_region:
+        const r0, 1
+        const r1, 2
+        const r2, 3
+        const r3, 4
+        const r4, 5
+        const r5, 6
+        const r6, 7
+        const r7, 8
+        const r8, 9
+        const r10, 11
+        const r11, 12
+        const r12, 13
+        const r13, 14
+        const r14, 15
+        const r1, 999
+        add r1, r15, r9          ; index + iteration still intact
+        const r2, 2000
+        add r2, r2, r15
+        store r2, 0, r1
+        ret
+    """
+    fill = """
+    func fill:
+        ret
+    """
+    asm = kernels.pool_asm(3, 4, work, fill)
+    machine = Machine(assemble(asm), timeslice=3)
+    machine.run()
+    # final iteration (r9 = 3) recorded per worker: index + 3
+    assert machine.memory_block(2000, 3) == [0 + 3, 1 + 3, 2 + 3]

@@ -1,0 +1,116 @@
+"""Tests for the benchmark suite registry and kernel characters."""
+
+import pytest
+
+from repro.core import EventBus, induced_split, input_volume
+from repro.tools import Helgrind
+from repro.workloads import PARSEC, SPEC_OMP, all_benchmarks, benchmark
+from repro.workloads import kernels
+
+
+def test_spec_suite_has_the_twelve_table1_rows():
+    assert len(SPEC_OMP) == 12
+    assert set(SPEC_OMP) == {
+        "350.md", "351.bwaves", "352.nab", "358.botsalgn", "359.botsspar",
+        "360.ilbdc", "362.fma3d", "367.imagick", "370.mgrid331",
+        "371.applu331", "372.smithwa", "376.kdtree",
+    }
+
+
+def test_parsec_suite_members():
+    assert {"dedup", "fluidanimate", "vips", "blackscholes", "canneal"} <= set(PARSEC)
+
+
+def test_benchmark_lookup():
+    assert benchmark("350.md").suite == "spec-omp2012"
+    assert benchmark("vips").suite == "parsec"
+    with pytest.raises(KeyError):
+        benchmark("400.perlbench")
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_every_benchmark_runs_and_profiles(bench):
+    rms_db, trms_db, machine = bench.profile(threads=2, scale=0.5)
+    assert machine.stats.total_blocks > 0
+    assert trms_db.total_size_sum() >= rms_db.total_size_sum()
+    # Inequality 1 => input volume in [0, 1)
+    volume = input_volume(rms_db, trms_db)
+    assert 0.0 <= volume < 1.0
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_every_benchmark_is_race_free(bench):
+    """The suites model race-free programs (fork/join or semaphored
+    pipelines); helgrind must stay quiet on all of them."""
+    helgrind = Helgrind()
+    bench.run(tools=EventBus([helgrind]), threads=3, scale=0.5)
+    assert helgrind.report()["races"] == []
+
+
+def test_thread_count_scales_worker_threads():
+    small = benchmark("350.md").run(threads=2, scale=0.5)
+    large = benchmark("350.md").run(threads=6, scale=0.5)
+    assert large.stats.threads_spawned > small.stats.threads_spawned
+
+
+def test_scale_scales_work():
+    small = benchmark("352.nab").run(threads=2, scale=0.5)
+    large = benchmark("352.nab").run(threads=2, scale=2.0)
+    assert large.stats.total_blocks > 2 * small.stats.total_blocks
+
+
+def test_spec_benchmarks_are_mostly_thread_induced():
+    """The Figure 17 cluster: SPEC OMP entries lean on thread input."""
+    thread_dominant = 0
+    for bench in SPEC_OMP.values():
+        _, trms_db, _ = bench.profile(threads=4, scale=0.8)
+        thread_pct, _ = induced_split(trms_db)
+        if thread_pct >= 69.0:
+            thread_dominant += 1
+    assert thread_dominant >= 10
+
+
+def test_external_dominant_benchmarks_exist():
+    _, trms_db, _ = benchmark("blackscholes").profile(threads=4, scale=1.0)
+    thread_pct, external_pct = induced_split(trms_db)
+    assert external_pct > thread_pct
+
+
+def test_dedup_pipeline_mixes_both_kinds():
+    _, trms_db, _ = benchmark("dedup").profile(threads=4, scale=1.0)
+    thread_pct, external_pct = induced_split(trms_db)
+    assert thread_pct > 0 and external_pct > 0
+
+
+def test_pairwise_cost_scales_quadratically():
+    def blocks(n):
+        scenario = kernels.pairwise_forces(2, n, iters=1)
+        machine = scenario.run()
+        return machine.stats.total_blocks
+
+    assert blocks(40) / blocks(20) > 3.0
+
+
+def test_gather_locked_variant_acquires_locks():
+    from repro.tools import Nulgrind
+
+    class LockCounter(Nulgrind):
+        def __init__(self):
+            super().__init__()
+            self.acquires = 0
+
+        def on_lock_acquire(self, thread, lock_id):
+            self.acquires += 1
+
+    counter = LockCounter()
+    kernels.gather_scatter(2, 16, 10, locked=True).run(tools=EventBus([counter]))
+    assert counter.acquires > 0
+
+
+def test_dp_matrix_output_is_deterministic():
+    a = kernels.dp_matrix(2, 8, 8)
+    b = kernels.dp_matrix(2, 8, 8)
+    ma, mb = a.run(), b.run()
+    base = kernels.SRC_BASE
+    stride = 8
+    assert ma.memory_block(base, 64) == mb.memory_block(base, 64)

@@ -6,8 +6,18 @@ Commands:
 * ``profile <benchmark>`` — run a benchmark under the profilers and
   print the aprof-style report, optionally with the bottleneck ranking,
   a per-routine cost plot, and a machine-readable point dump;
-* ``fit <dump> <routine>`` — re-load a point dump produced by
-  ``profile --dump`` and name the routine's growth class.
+* ``fit <dump> <routine>`` — re-load a point dump (``profile --dump``
+  TSV or an ``analyze``/``merge`` profile dump) and name the routine's
+  growth class;
+* ``record <benchmark> <file>`` — record one execution's event trace
+  (chunked binary v2 by default, ``--format v1`` for the text format);
+* ``analyze <trace>`` — run the profilers over a recorded trace;
+  ``--jobs N`` farms the TRMS analysis out to N worker processes
+  (exact: identical to the online profiler), ``--dump`` writes a
+  mergeable profile dump;
+* ``merge -o out.profile a.profile b.profile …`` — associatively merge
+  profile dumps of several shards or several independent runs into one
+  richer profile.
 
 The CLI works on the VM benchmark registry; profiling arbitrary Python
 programs goes through the library API (see ``examples/quickstart.py``).
@@ -67,13 +77,33 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("output", help="trace file to write")
     record.add_argument("--threads", type=int, default=4)
     record.add_argument("--scale", type=float, default=1.0)
+    record.add_argument("--format", choices=["v2", "v1"], default="v2",
+                        help="v2: chunked binary (farm-ready); v1: text")
+    record.add_argument("--chunk-events", type=int, default=4096, metavar="N",
+                        help="events per v2 chunk (shard planning granularity)")
 
     analyze = commands.add_parser(
         "analyze", help="run the profilers over a recorded trace"
     )
-    analyze.add_argument("trace", help="file produced by `record`")
+    analyze.add_argument("trace", help="file produced by `record` (v1 or v2)")
     analyze.add_argument("--metric", choices=["rms", "trms", "both"], default="both")
     analyze.add_argument("--context", action="store_true")
+    analyze.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="farm the trms analysis out to N worker processes")
+    analyze.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="per-shard worker timeout (with --jobs)")
+    analyze.add_argument("--dump", metavar="FILE",
+                         help="write a mergeable profile dump (see `merge`)")
+    analyze.add_argument("--stats", action="store_true",
+                         help="print the farm shard/throughput report")
+
+    merge = commands.add_parser(
+        "merge", help="merge profile dumps of several shards or runs"
+    )
+    merge.add_argument("inputs", nargs="+",
+                       help="profile dumps produced by `analyze --dump`")
+    merge.add_argument("-o", "--output", required=True,
+                       help="merged profile dump to write")
 
     return parser
 
@@ -103,6 +133,8 @@ def _cmd_profile(args, out) -> int:
         tools = SamplingShim(tools, period=args.sample)
     machine = bench.run(tools=tools, threads=args.threads, scale=args.scale)
     if args.sample > 1:
+        for profiler in profilers.values():
+            profiler.db.sizes_lower_bound = True
         out.write(f"note: read sampling 1/{args.sample} — input sizes are "
                   f"lower bounds\n")
     out.write(
@@ -141,45 +173,122 @@ def _cmd_profile(args, out) -> int:
 
 
 def _cmd_record(args, out) -> int:
-    from .core.tracefile import TraceWriter
-
     try:
         bench = benchmark(args.benchmark)
     except KeyError as error:
         out.write(f"error: {error.args[0]}\n")
         return 2
-    with open(args.output, "w") as stream:
-        writer = TraceWriter(stream)
-        machine = bench.run(tools=writer, threads=args.threads, scale=args.scale)
+    if args.format == "v2":
+        from .farm import BinaryTraceWriter
+
+        with open(args.output, "wb") as stream:
+            writer = BinaryTraceWriter(stream, chunk_events=args.chunk_events)
+            machine = bench.run(tools=writer, threads=args.threads, scale=args.scale)
+            writer.close()
+        chunks = f", {len(writer.chunks)} chunks"
+    else:
+        from .core.tracefile import TraceWriter
+
+        with open(args.output, "w") as stream:
+            writer = TraceWriter(stream)
+            machine = bench.run(tools=writer, threads=args.threads, scale=args.scale)
+        chunks = ""
     out.write(f"recorded {writer.events_written} events "
-              f"({machine.stats.total_blocks} basic blocks) to {args.output}\n")
+              f"({machine.stats.total_blocks} basic blocks{chunks}) to {args.output}\n")
     return 0
 
 
 def _cmd_analyze(args, out) -> int:
     from .core import replay
     from .core.tracefile import TraceFileError, iter_trace
+    from .farm import is_binary_trace, iter_binary_trace, save_profile
 
-    profilers = {}
-    if args.metric in ("rms", "both"):
-        profilers["rms"] = RmsProfiler(context_sensitive=args.context)
-    if args.metric in ("trms", "both"):
-        profilers["trms"] = TrmsProfiler(context_sensitive=args.context)
+    def replay_trace(consumer) -> None:
+        if is_binary_trace(args.trace):
+            with open(args.trace, "rb") as stream:
+                replay(iter_binary_trace(stream), consumer)
+        else:
+            with open(args.trace) as stream:
+                replay(iter_trace(stream), consumer)
+
+    databases = {}
     try:
-        with open(args.trace) as stream:
-            replay(iter_trace(stream), EventBus(list(profilers.values())))
-    except TraceFileError as error:
+        if args.jobs > 1:
+            from .farm import analyze_file
+
+            if args.metric in ("trms", "both"):
+                result = analyze_file(
+                    args.trace, jobs=args.jobs, context_sensitive=args.context,
+                    timeout=args.timeout, progress=out.write,
+                )
+                databases["trms"] = result.db
+                if args.stats:
+                    from .reporting import render_farm_stats
+
+                    out.write(render_farm_stats(result.stats))
+                    out.write("\n")
+            if args.metric in ("rms", "both"):
+                out.write("note: --jobs farms the trms analysis; "
+                          "rms runs sequentially\n")
+                profiler = RmsProfiler(context_sensitive=args.context)
+                replay_trace(profiler)
+                databases["rms"] = profiler.db
+        else:
+            profilers = {}
+            if args.metric in ("rms", "both"):
+                profilers["rms"] = RmsProfiler(context_sensitive=args.context)
+            if args.metric in ("trms", "both"):
+                profilers["trms"] = TrmsProfiler(context_sensitive=args.context)
+            replay_trace(EventBus(list(profilers.values())))
+            databases = {metric: p.db for metric, p in profilers.items()}
+    except (TraceFileError, OSError) as error:
         out.write(f"error: {error}\n")
         return 2
-    for metric, profiler in profilers.items():
-        out.write(render_report(profiler.db, title=f"{metric} profile of {args.trace}"))
-        out.write("\n")
+    for metric in ("rms", "trms"):
+        if metric in databases:
+            out.write(render_report(databases[metric],
+                                    title=f"{metric} profile of {args.trace}"))
+            out.write("\n")
+    if args.dump:
+        reference = databases.get("trms") or databases["rms"]
+        with open(args.dump, "w") as stream:
+            count = save_profile(reference, stream)
+        out.write(f"wrote {count} profile points to {args.dump}\n")
+    return 0
+
+
+def _cmd_merge(args, out) -> int:
+    from .farm import ProfileDumpError, load_profile, merge_databases, save_profile
+
+    databases = []
+    try:
+        for path in args.inputs:
+            with open(path) as stream:
+                databases.append(load_profile(stream))
+    except (ProfileDumpError, OSError) as error:
+        out.write(f"error: {error}\n")
+        return 2
+    merged = merge_databases(databases)
+    with open(args.output, "w") as stream:
+        count = save_profile(merged, stream)
+    out.write(render_report(
+        merged, title=f"merged profile of {len(databases)} run(s)"))
+    if merged.sizes_lower_bound:
+        out.write("note: a merged run used read sampling — input sizes are "
+                  "lower bounds\n")
+    out.write(f"wrote {count} profile points to {args.output}\n")
     return 0
 
 
 def _cmd_fit(args, out) -> int:
-    with open(args.dump) as stream:
-        db = parse_points(stream)
+    from .farm import is_profile_dump, load_profile
+
+    if is_profile_dump(args.dump):
+        with open(args.dump) as stream:
+            db = load_profile(stream)
+    else:
+        with open(args.dump) as stream:
+            db = parse_points(stream)
     profile = db.merged().get(args.routine)
     if profile is None:
         known = ", ".join(sorted(db.merged())[:8])
@@ -210,4 +319,6 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_record(args, out)
     if args.command == "analyze":
         return _cmd_analyze(args, out)
+    if args.command == "merge":
+        return _cmd_merge(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

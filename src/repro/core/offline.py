@@ -42,7 +42,15 @@ from .events import Event, EventKind
 from .profile_data import ProfileDatabase
 from .stack import ShadowStack
 
-__all__ = ["WriteIndex", "build_write_index", "split_by_thread", "analyze_thread", "analyze_trace"]
+__all__ = [
+    "WriteIndex",
+    "build_write_index",
+    "index_positioned_writes",
+    "split_by_thread",
+    "bucket_positioned",
+    "analyze_thread",
+    "analyze_trace",
+]
 
 _KERNEL = -1
 
@@ -75,8 +83,19 @@ class WriteIndex:
 
 def build_write_index(events: Sequence[Event]) -> WriteIndex:
     """Pass 1: collect every write, in trace order."""
+    return index_positioned_writes(enumerate(events))
+
+
+def index_positioned_writes(pairs) -> WriteIndex:
+    """Build a :class:`WriteIndex` from ``(global position, event)`` pairs.
+
+    The pairs must arrive in increasing position order but need not be
+    contiguous — the farm workers feed this from a *subset* of trace
+    chunks (only those that contain writes), with positions taken from
+    the chunk index.
+    """
     index = WriteIndex()
-    for position, event in enumerate(events):
+    for position, event in pairs:
         if event.kind == EventKind.WRITE:
             index.add(event.arg, position, event.thread)
         elif event.kind == EventKind.KERNEL_WRITE:
@@ -91,13 +110,31 @@ def split_by_thread(events: Sequence[Event]) -> Dict[int, List[Tuple[int, Event]
     carries the former, and the latter have no per-thread effect — so
     pass 2 touches each event exactly once across all threads.
     """
+    return bucket_positioned(enumerate(events))
+
+
+def bucket_positioned(
+    pairs, threads: Optional[frozenset] = None
+) -> Dict[int, List[Tuple[int, Event]]]:
+    """Bucket ``(global position, event)`` pairs per thread.
+
+    Same semantics as :func:`split_by_thread` (kernel writes and thread
+    switches register the thread but are not replayed), generalised to
+    positioned pairs so farm workers can bucket straight from decoded
+    trace chunks.  With ``threads`` given, only those threads are
+    bucketed — a worker assigned a shard ignores foreign threads' events
+    beyond the write index.
+    """
     buckets: Dict[int, List[Tuple[int, Event]]] = {}
-    for position, event in enumerate(events):
+    for position, event in pairs:
+        thread = event.thread
+        if threads is not None and thread not in threads:
+            continue
         kind = event.kind
         if kind == EventKind.KERNEL_WRITE or kind == EventKind.THREAD_SWITCH:
-            buckets.setdefault(event.thread, [])
+            buckets.setdefault(thread, [])
             continue
-        buckets.setdefault(event.thread, []).append((position, event))
+        buckets.setdefault(thread, []).append((position, event))
     return buckets
 
 

@@ -186,6 +186,10 @@ class ProfileDatabase:
         self._profiles: Dict[Tuple[str, int], RoutineProfile] = {}
         self.keep_activations = keep_activations
         self.activations: List[ActivationRecord] = []
+        #: True when input sizes are lower bounds (read sampling was
+        #: active during collection).  Merging databases ORs the flag:
+        #: one sampled constituent makes the whole merged plot a bound.
+        self.sizes_lower_bound = False
         #: session-global induced first-access tallies (each access counted
         #: once, in the thread that performed the read — the paper's
         #: "global benchmark measure" of Figure 17)

@@ -13,9 +13,9 @@ traces durable:
 
 Format: one event per line, tab-separated ``kind thread arg``, with a
 one-line header carrying a magic string and version.  Routine names are
-the only free-form field and are written last on the line, so tabs in
-names are the single (documented) restriction.  The format is plain
-text: greppable, diffable, stable.
+the only free-form field; tabs, newlines and backslashes in names are
+backslash-escaped on write and restored on read, so arbitrary names
+round-trip.  The format is plain text: greppable, diffable, stable.
 """
 
 from __future__ import annotations
@@ -24,7 +24,15 @@ from typing import IO, Iterator, List, Union
 
 from .events import Event, EventKind, TraceConsumer
 
-__all__ = ["TRACE_MAGIC", "TraceWriter", "write_trace", "read_trace", "iter_trace"]
+__all__ = [
+    "TRACE_MAGIC",
+    "TraceWriter",
+    "write_trace",
+    "read_trace",
+    "iter_trace",
+    "escape_name",
+    "unescape_name",
+]
 
 TRACE_MAGIC = "repro-trace 1"
 
@@ -45,6 +53,42 @@ class TraceFileError(ValueError):
     """Raised on malformed trace files."""
 
 
+def escape_name(name: str) -> str:
+    """Make a routine name safe for tab/newline-delimited formats.
+
+    Backslash-escapes the two delimiter characters and the escape
+    character itself; every other character passes through untouched, so
+    escaped names of ordinary routines are byte-identical to the raw
+    ones.
+    """
+    return name.replace("\\", "\\\\").replace("\t", "\\t").replace("\n", "\\n")
+
+
+def unescape_name(text: str) -> str:
+    """Inverse of :func:`escape_name`."""
+    if "\\" not in text:
+        return text
+    out: List[str] = []
+    it = iter(text)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, None)
+        if nxt == "t":
+            out.append("\t")
+        elif nxt == "n":
+            out.append("\n")
+        elif nxt == "\\":
+            out.append("\\")
+        elif nxt is None:
+            raise TraceFileError(f"dangling escape in name {text!r}")
+        else:
+            bad = "\\" + nxt
+            raise TraceFileError(f"bad escape {bad!r} in name {text!r}")
+    return "".join(out)
+
+
 class TraceWriter(TraceConsumer):
     """Streams the event vocabulary to a text file."""
 
@@ -60,9 +104,7 @@ class TraceWriter(TraceConsumer):
         self.events_written += 1
 
     def on_call(self, thread: int, routine: str) -> None:
-        if "\t" in routine or "\n" in routine:
-            raise TraceFileError(f"routine name {routine!r} not serialisable")
-        self._emit("C", thread, routine)
+        self._emit("C", thread, escape_name(routine))
 
     def on_return(self, thread: int) -> None:
         self._emit("R", thread, 0)
@@ -111,7 +153,7 @@ def iter_trace(stream: IO[str]) -> Iterator[Event]:
         except (ValueError, KeyError):
             raise TraceFileError(f"line {line_no}: bad event {line!r}") from None
         if kind == EventKind.CALL:
-            arg: Union[int, str, None] = arg_text
+            arg: Union[int, str, None] = unescape_name(arg_text)
         elif kind == EventKind.RETURN:
             arg = None
         else:

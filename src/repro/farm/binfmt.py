@@ -1,0 +1,376 @@
+"""Trace format v2: compact, chunked, seekable binary traces.
+
+The v1 text format (:mod:`repro.core.tracefile`) is greppable and
+diffable but forces any analysis to scan the whole file front to back.
+The farm needs random access: a worker assigned two threads of a
+32-thread trace should not decode the other thirty.  Format v2 provides
+that with three layers:
+
+* **records** — one event is a fixed ``<Bqq`` struct (kind byte, thread
+  id, argument).  Routine names are interned in a per-file string
+  table, so a ``CALL`` record stores a table index; arguments of
+  ``RETURN`` records are zero and decode to ``None``.
+* **chunks** — records are grouped into chunks of ``chunk_events``
+  events.  Each chunk is prefixed by a header carrying its payload
+  size, event count, the *global position* of its first event, its
+  write-event count (plain + kernel), and per-thread event counts.
+  That metadata is what shard planning consumes: it tells a worker
+  which chunks contain its threads' events and which chunks it may
+  skip entirely (no writes, no assigned threads).
+* **footer** — after the last chunk the writer emits the string table
+  and a copy of every chunk's metadata (with file offsets), then a
+  fixed-size trailer pointing back at the footer.  Readers seek to the
+  trailer, load the footer, and can then decode any chunk in any order
+  without touching the rest of the file.
+
+Layout::
+
+    "RPTRACE2"                                      file magic
+    [chunk header][records...]                      repeated
+    footer:  string table, chunk index
+    trailer: footer offset, event count, "RPT2END\\0"
+
+Converters to/from the v1 text format are lossless for the event
+vocabulary both formats share (which is all of it).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import IO, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core.events import Event, EventKind, TraceConsumer, replay
+from ..core.tracefile import TraceFileError, TraceWriter, iter_trace
+
+__all__ = [
+    "BINARY_MAGIC",
+    "BinaryTraceError",
+    "ChunkMeta",
+    "TraceMeta",
+    "BinaryTraceWriter",
+    "write_binary_trace",
+    "read_trace_meta",
+    "iter_binary_trace",
+    "read_binary_trace",
+    "iter_positioned",
+    "decode_chunk",
+    "is_binary_trace",
+    "convert_v1_to_v2",
+    "convert_v2_to_v1",
+]
+
+BINARY_MAGIC = b"RPTRACE2"
+_TRAILER_MAGIC = b"RPT2END\0"
+
+_RECORD = struct.Struct("<Bqq")
+_CHUNK_FIXED = struct.Struct("<IIQIH")  # payload bytes, events, first pos, writes, n threads
+_THREAD_COUNT = struct.Struct("<qI")    # thread id, events of that thread in the chunk
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_TRAILER = struct.Struct("<QQ8s")       # footer offset, event count, trailer magic
+
+DEFAULT_CHUNK_EVENTS = 4096
+
+
+class BinaryTraceError(TraceFileError):
+    """Raised on malformed binary trace files."""
+
+
+class ChunkMeta(NamedTuple):
+    """Metadata of one chunk, as stored in both header and footer."""
+
+    offset: int            #: file offset of the chunk header
+    payload_offset: int    #: file offset of the first record
+    payload_bytes: int
+    events: int
+    first_pos: int         #: global position of the chunk's first event
+    writes: int            #: WRITE + KERNEL_WRITE records in the chunk
+    thread_counts: Dict[int, int]
+
+    @property
+    def last_pos(self) -> int:
+        """Global position one past the chunk's final event."""
+        return self.first_pos + self.events
+
+    def threads(self) -> frozenset:
+        return frozenset(self.thread_counts)
+
+
+class TraceMeta(NamedTuple):
+    """Everything the footer knows: the key to random-access decoding."""
+
+    event_count: int
+    names: List[str]
+    chunks: List[ChunkMeta]
+
+    def thread_totals(self) -> Dict[int, int]:
+        """Whole-trace per-thread event counts (summed over chunks)."""
+        totals: Dict[int, int] = {}
+        for chunk in self.chunks:
+            for thread, count in chunk.thread_counts.items():
+                totals[thread] = totals.get(thread, 0) + count
+        return totals
+
+
+def _read_exact(stream: IO[bytes], size: int, what: str) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise BinaryTraceError(f"truncated binary trace: short read of {what}")
+    return data
+
+
+class BinaryTraceWriter(TraceConsumer):
+    """Streams the event vocabulary to a chunked binary file.
+
+    A drop-in stand-in for :class:`~repro.core.tracefile.TraceWriter` on binary
+    streams.  Call :meth:`close` to seal the file with footer and
+    trailer once recording is over; sealing is deliberately *not* tied
+    to ``on_finish``, so several executions can be recorded into one
+    trace (the substrates fire ``on_finish`` after each run).  The
+    underlying stream is left open.
+    """
+
+    name = "binary-trace-writer"
+
+    def __init__(self, stream: IO[bytes], chunk_events: int = DEFAULT_CHUNK_EVENTS):
+        if chunk_events <= 0:
+            raise ValueError("chunk_events must be positive")
+        self.stream = stream
+        self.chunk_events = chunk_events
+        self.events_written = 0
+        self.chunks: List[ChunkMeta] = []
+        self.closed = False
+        self._name_ids: Dict[str, int] = {}
+        self._names: List[str] = []
+        self._buf = bytearray()
+        self._buf_events = 0
+        self._buf_writes = 0
+        self._buf_threads: Dict[int, int] = {}
+        self._buf_first_pos = 0
+        stream.write(BINARY_MAGIC)
+
+    # -- record emission ---------------------------------------------------------
+
+    def _intern(self, name: str) -> int:
+        ident = self._name_ids.get(name)
+        if ident is None:
+            ident = len(self._names)
+            self._name_ids[name] = ident
+            self._names.append(name)
+        return ident
+
+    def _add(self, kind: int, thread: int, arg: int, is_write: bool = False) -> None:
+        if self.closed:
+            raise BinaryTraceError("write on a sealed binary trace")
+        if not self._buf_events:
+            self._buf_first_pos = self.events_written
+        self._buf += _RECORD.pack(kind, thread, arg)
+        self._buf_events += 1
+        self._buf_threads[thread] = self._buf_threads.get(thread, 0) + 1
+        if is_write:
+            self._buf_writes += 1
+        self.events_written += 1
+        if self._buf_events >= self.chunk_events:
+            self._flush_chunk()
+
+    def _flush_chunk(self) -> None:
+        if not self._buf_events:
+            return
+        offset = self.stream.tell()
+        header = _CHUNK_FIXED.pack(
+            len(self._buf), self._buf_events, self._buf_first_pos,
+            self._buf_writes, len(self._buf_threads),
+        ) + b"".join(
+            _THREAD_COUNT.pack(thread, count)
+            for thread, count in sorted(self._buf_threads.items())
+        )
+        self.stream.write(header)
+        payload_offset = self.stream.tell()
+        self.stream.write(bytes(self._buf))
+        self.chunks.append(ChunkMeta(
+            offset, payload_offset, len(self._buf), self._buf_events,
+            self._buf_first_pos, self._buf_writes, dict(self._buf_threads),
+        ))
+        self._buf = bytearray()
+        self._buf_events = 0
+        self._buf_writes = 0
+        self._buf_threads = {}
+
+    def close(self) -> None:
+        """Flush the open chunk and seal the file (idempotent)."""
+        if self.closed:
+            return
+        self._flush_chunk()
+        footer_offset = self.stream.tell()
+        out = self.stream
+        out.write(_U32.pack(len(self._names)))
+        for name in self._names:
+            raw = name.encode("utf-8")
+            out.write(_U32.pack(len(raw)))
+            out.write(raw)
+        out.write(_U32.pack(len(self.chunks)))
+        for chunk in self.chunks:
+            out.write(_U64.pack(chunk.offset))
+            out.write(_CHUNK_FIXED.pack(
+                chunk.payload_bytes, chunk.events, chunk.first_pos,
+                chunk.writes, len(chunk.thread_counts),
+            ))
+            for thread, count in sorted(chunk.thread_counts.items()):
+                out.write(_THREAD_COUNT.pack(thread, count))
+        out.write(_TRAILER.pack(footer_offset, self.events_written, _TRAILER_MAGIC))
+        self.closed = True
+
+    # -- TraceConsumer callbacks -------------------------------------------------
+
+    def on_call(self, thread: int, routine: str) -> None:
+        self._add(EventKind.CALL, thread, self._intern(routine))
+
+    def on_return(self, thread: int) -> None:
+        self._add(EventKind.RETURN, thread, 0)
+
+    def on_read(self, thread: int, addr: int) -> None:
+        self._add(EventKind.READ, thread, addr)
+
+    def on_write(self, thread: int, addr: int) -> None:
+        self._add(EventKind.WRITE, thread, addr, is_write=True)
+
+    def on_kernel_read(self, thread: int, addr: int) -> None:
+        self._add(EventKind.KERNEL_READ, thread, addr)
+
+    def on_kernel_write(self, thread: int, addr: int) -> None:
+        self._add(EventKind.KERNEL_WRITE, thread, addr, is_write=True)
+
+    def on_thread_switch(self, thread: int) -> None:
+        self._add(EventKind.THREAD_SWITCH, thread, thread)
+
+    def on_cost(self, thread: int, units: int) -> None:
+        self._add(EventKind.COST, thread, units)
+
+
+def write_binary_trace(
+    events: Iterable[Event], stream: IO[bytes],
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+) -> int:
+    """Write an event iterable as a sealed v2 trace; returns the count."""
+    writer = BinaryTraceWriter(stream, chunk_events=chunk_events)
+    replay(events, writer)
+    writer.close()
+    return writer.events_written
+
+
+# -- reading ------------------------------------------------------------------
+
+
+def _parse_chunk_fixed(data: bytes, stream: IO[bytes]) -> Tuple[int, int, int, int, Dict[int, int]]:
+    payload_bytes, events, first_pos, writes, n_threads = _CHUNK_FIXED.unpack(data)
+    counts: Dict[int, int] = {}
+    raw = _read_exact(stream, _THREAD_COUNT.size * n_threads, "chunk thread table")
+    for thread, count in _THREAD_COUNT.iter_unpack(raw):
+        counts[thread] = count
+    return payload_bytes, events, first_pos, writes, counts
+
+
+def read_trace_meta(stream: IO[bytes]) -> TraceMeta:
+    """Load footer metadata from a seekable v2 stream (no chunk decode)."""
+    stream.seek(0)
+    if _read_exact(stream, len(BINARY_MAGIC), "magic") != BINARY_MAGIC:
+        raise BinaryTraceError("not a binary trace (bad magic)")
+    stream.seek(-_TRAILER.size, 2)
+    trailer_offset = stream.tell()
+    footer_offset, event_count, magic = _TRAILER.unpack(
+        _read_exact(stream, _TRAILER.size, "trailer"))
+    if magic != _TRAILER_MAGIC:
+        raise BinaryTraceError("binary trace is unsealed or truncated (bad trailer)")
+    if not len(BINARY_MAGIC) <= footer_offset <= trailer_offset:
+        raise BinaryTraceError("corrupt trailer: footer offset out of range")
+    stream.seek(footer_offset)
+    (n_names,) = _U32.unpack(_read_exact(stream, _U32.size, "string table size"))
+    names: List[str] = []
+    for _ in range(n_names):
+        (length,) = _U32.unpack(_read_exact(stream, _U32.size, "name length"))
+        names.append(_read_exact(stream, length, "name").decode("utf-8"))
+    (n_chunks,) = _U32.unpack(_read_exact(stream, _U32.size, "chunk index size"))
+    chunks: List[ChunkMeta] = []
+    for _ in range(n_chunks):
+        (offset,) = _U64.unpack(_read_exact(stream, _U64.size, "chunk offset"))
+        fixed = _read_exact(stream, _CHUNK_FIXED.size, "chunk index entry")
+        payload_bytes, events, first_pos, writes, counts = _parse_chunk_fixed(fixed, stream)
+        payload_offset = offset + _CHUNK_FIXED.size + _THREAD_COUNT.size * len(counts)
+        chunks.append(ChunkMeta(offset, payload_offset, payload_bytes, events,
+                                first_pos, writes, counts))
+    return TraceMeta(event_count, names, chunks)
+
+
+def decode_chunk(
+    stream: IO[bytes], chunk: ChunkMeta, names: Sequence[str]
+) -> Iterator[Tuple[int, Event]]:
+    """Yield ``(global position, event)`` for every record of ``chunk``."""
+    stream.seek(chunk.payload_offset)
+    payload = _read_exact(stream, chunk.payload_bytes, "chunk payload")
+    position = chunk.first_pos
+    call = EventKind.CALL
+    ret = EventKind.RETURN
+    for kind, thread, arg in _RECORD.iter_unpack(payload):
+        kind = EventKind(kind)
+        if kind == call:
+            try:
+                decoded = names[arg]
+            except IndexError:
+                raise BinaryTraceError(f"routine id {arg} outside string table") from None
+            yield position, Event(kind, thread, decoded)
+        elif kind == ret:
+            yield position, Event(kind, thread, None)
+        else:
+            yield position, Event(kind, thread, arg)
+        position += 1
+
+
+def iter_positioned(
+    stream: IO[bytes],
+    meta: Optional[TraceMeta] = None,
+    chunks: Optional[Sequence[ChunkMeta]] = None,
+) -> Iterator[Tuple[int, Event]]:
+    """Yield ``(position, event)`` over selected chunks (default: all)."""
+    if meta is None:
+        meta = read_trace_meta(stream)
+    for chunk in (meta.chunks if chunks is None else chunks):
+        yield from decode_chunk(stream, chunk, meta.names)
+
+
+def iter_binary_trace(stream: IO[bytes]) -> Iterator[Event]:
+    """Yield all events of a v2 trace in global order."""
+    for _, event in iter_positioned(stream):
+        yield event
+
+
+def read_binary_trace(stream: IO[bytes]) -> List[Event]:
+    """Load a whole v2 trace into memory."""
+    return list(iter_binary_trace(stream))
+
+
+def is_binary_trace(path: str) -> bool:
+    """True when the file at ``path`` starts with the v2 magic."""
+    try:
+        with open(path, "rb") as stream:
+            return stream.read(len(BINARY_MAGIC)) == BINARY_MAGIC
+    except OSError:
+        return False
+
+
+# -- format conversion --------------------------------------------------------
+
+
+def convert_v1_to_v2(
+    text_stream: IO[str], binary_stream: IO[bytes],
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+) -> int:
+    """Re-encode a v1 text trace as a v2 binary trace; returns the count."""
+    return write_binary_trace(iter_trace(text_stream), binary_stream,
+                              chunk_events=chunk_events)
+
+
+def convert_v2_to_v1(binary_stream: IO[bytes], text_stream: IO[str]) -> int:
+    """Re-encode a v2 binary trace as a v1 text trace; returns the count."""
+    writer = TraceWriter(text_stream)
+    replay(iter_binary_trace(binary_stream), writer)
+    return writer.events_written

@@ -1,0 +1,272 @@
+"""Farm orchestration: trace file in, merged profile database out.
+
+``analyze_file`` drives the whole pipeline:
+
+1. ensure the trace is format v2 (v1 text traces are converted to a
+   temporary binary file first — the farm only plans over chunk
+   indices);
+2. plan shards from the chunk index (:mod:`repro.farm.shards`);
+3. run :func:`repro.farm.worker.run_shard` for every shard — on a
+   ``concurrent.futures`` process pool when ``jobs > 1``, inline
+   otherwise;
+4. merge the per-shard databases (:mod:`repro.farm.merge`) into one
+   profile, bit-identical to the online ``TrmsProfiler``.
+
+Failure policy (the part a benchmark never shows): every shard gets up
+to ``1 + retries`` pool attempts with a per-shard ``timeout``; a worker
+that crashes, raises, or times out is resubmitted on a fresh pool, and
+a shard that exhausts its attempts — or a pool that cannot be created
+at all — degrades to inline execution in the coordinator.  The farm
+therefore *always* returns the exact result; parallelism is strictly a
+performance property.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core.profile_data import ProfileDatabase
+from .binfmt import DEFAULT_CHUNK_EVENTS, convert_v1_to_v2, is_binary_trace, read_trace_meta
+from .merge import merge_databases
+from .shards import ShardPlan, plan_shards
+from .worker import ShardTask, WorkerResult, run_shard
+
+__all__ = ["ShardOutcome", "FarmStats", "FarmResult", "analyze_file", "analyze_events"]
+
+#: per-shard pool attempts beyond the first
+DEFAULT_RETRIES = 2
+
+
+class ShardOutcome(NamedTuple):
+    """How one shard fared: where it ran, how often, how fast."""
+
+    shard_id: int
+    threads: Tuple[int, ...]
+    events: int          #: events decoded by the worker (shard chunks)
+    seconds: float       #: in-worker analysis wall time
+    attempts: int        #: pool submissions consumed (0 when inline-only)
+    where: str           #: "pool" | "inline"
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+
+class FarmStats(NamedTuple):
+    """Aggregate run report, rendered by ``reporting.render_farm_stats``."""
+
+    strategy: str
+    jobs: int
+    outcomes: List[ShardOutcome]
+    retries: int         #: failed pool attempts that were retried
+    fallbacks: int       #: shards that ended up running inline
+    pool_failures: int   #: broken pools / failed pool creations observed
+    wall_seconds: float
+    event_count: int     #: events in the trace (not per-shard decode work)
+
+
+class FarmResult(NamedTuple):
+    db: ProfileDatabase
+    stats: FarmStats
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _run_inline(task: ShardTask) -> WorkerResult:
+    return run_shard(task._replace(fault=None))
+
+
+def _run_pool(
+    tasks: Sequence[ShardTask],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    progress: Optional[Callable[[str], None]],
+) -> Tuple[Dict[int, WorkerResult], Dict[int, int], List[ShardTask], int, int]:
+    """Pool phase: returns (results, attempts, leftover-for-inline, retried, pool_failures)."""
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    results: Dict[int, WorkerResult] = {}
+    attempts: Dict[int, int] = {task.shard_id: 0 for task in tasks}
+    leftover: List[ShardTask] = []
+    pending = list(tasks)
+    retried = 0
+    pool_failures = 0
+
+    while pending:
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)), mp_context=_pool_context())
+        except Exception as error:  # pool cannot even start: degrade fully
+            pool_failures += 1
+            if progress:
+                progress(f"farm: process pool unavailable ({error}); running inline\n")
+            leftover.extend(pending)
+            return results, attempts, leftover, retried, pool_failures
+
+        futures = {}
+        failed: List[ShardTask] = []
+        broken = False
+        try:
+            for task in pending:
+                attempts[task.shard_id] += 1
+                futures[task.shard_id] = executor.submit(run_shard, task)
+            for task in pending:
+                try:
+                    result = futures[task.shard_id].result(timeout=timeout)
+                    results[task.shard_id] = result
+                except BrokenProcessPool:
+                    broken = True
+                    failed.append(task)
+                except FutureTimeout:
+                    broken = True  # a hung worker poisons its slot: recycle the pool
+                    failed.append(task)
+                except Exception:
+                    failed.append(task)
+        finally:
+            if broken:
+                pool_failures += 1
+                executor.shutdown(wait=False, cancel_futures=True)
+            else:
+                executor.shutdown(wait=True)
+
+        pending = []
+        for task in failed:
+            if attempts[task.shard_id] <= retries:
+                retried += 1
+                if progress:
+                    progress(f"farm: shard {task.shard_id} failed "
+                             f"(attempt {attempts[task.shard_id]}), retrying\n")
+                pending.append(task)
+            else:
+                if progress:
+                    progress(f"farm: shard {task.shard_id} exhausted "
+                             f"{attempts[task.shard_id]} attempts; falling back inline\n")
+                leftover.append(task)
+    return results, attempts, leftover, retried, pool_failures
+
+
+def analyze_file(
+    path: str,
+    jobs: Optional[int] = None,
+    context_sensitive: bool = False,
+    keep_activations: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+    progress: Optional[Callable[[str], None]] = None,
+    faults: Optional[Dict[int, Tuple]] = None,
+) -> FarmResult:
+    """Analyse a recorded trace (v1 or v2) with the farm; exact by contract.
+
+    ``faults`` maps shard ids to :class:`~repro.farm.worker.ShardTask`
+    fault specs — test hooks for the retry and fallback paths; inline
+    (fallback) execution always strips faults, so an injected fault can
+    delay but never corrupt the result.
+    """
+    started = time.perf_counter()
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, jobs)
+
+    temp_path: Optional[str] = None
+    try:
+        if not is_binary_trace(path):
+            handle, temp_path = tempfile.mkstemp(suffix=".rpt2")
+            with os.fdopen(handle, "wb") as binary, \
+                    open(path, "r", encoding="utf-8") as text:
+                convert_v1_to_v2(text, binary, chunk_events=chunk_events)
+            trace_path = temp_path
+        else:
+            trace_path = path
+
+        with open(trace_path, "rb") as stream:
+            meta = read_trace_meta(stream)
+        plan: ShardPlan = plan_shards(meta, jobs)
+
+        tasks = [
+            ShardTask(
+                trace_path, shard.shard_id, shard.threads, shard.chunk_indices,
+                context_sensitive=context_sensitive,
+                keep_activations=keep_activations,
+                fault=(faults or {}).get(shard.shard_id),
+            )
+            for shard in plan.shards
+        ]
+
+        results: Dict[int, WorkerResult] = {}
+        attempts: Dict[int, int] = {task.shard_id: 0 for task in tasks}
+        inline: List[ShardTask] = []
+        retried = 0
+        pool_failures = 0
+        if jobs > 1 and len(tasks) > 1:
+            results, attempts, inline, retried, pool_failures = _run_pool(
+                tasks, jobs, timeout, retries, progress)
+        else:
+            inline = list(tasks)
+
+        fallbacks = 0
+        outcomes: List[ShardOutcome] = []
+        for task in tasks:
+            if task.shard_id in results:
+                where = "pool"
+                result = results[task.shard_id]
+            else:
+                where = "inline"
+                if jobs > 1 and len(tasks) > 1:
+                    fallbacks += 1
+                result = _run_inline(task)
+                results[task.shard_id] = result
+            outcomes.append(ShardOutcome(
+                task.shard_id, task.threads, result.events_decoded,
+                result.seconds, attempts[task.shard_id], where,
+            ))
+        del inline  # every task not in `results` was just run above
+
+        merged = merge_databases(
+            (results[task.shard_id].db for task in tasks),
+            keep_activations=keep_activations,
+        )
+        stats = FarmStats(
+            plan.strategy, jobs, outcomes, retried, fallbacks, pool_failures,
+            time.perf_counter() - started, meta.event_count,
+        )
+        return FarmResult(merged, stats)
+    finally:
+        if temp_path is not None:
+            try:
+                os.unlink(temp_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
+def analyze_events(
+    events,
+    jobs: Optional[int] = None,
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+    **kwargs,
+) -> FarmResult:
+    """Farm-analyse an in-memory event stream (spools to a temp v2 file)."""
+    from .binfmt import write_binary_trace
+
+    handle, path = tempfile.mkstemp(suffix=".rpt2")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            write_binary_trace(events, stream, chunk_events=chunk_events)
+        return analyze_file(path, jobs=jobs, chunk_events=chunk_events, **kwargs)
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass

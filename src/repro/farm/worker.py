@@ -1,0 +1,115 @@
+"""Farm worker: analyse one shard of a recorded trace, in-process.
+
+``run_shard`` is the function the engine ships to pool processes (it
+must stay module-level and its task/result types picklable).  A worker
+is deliberately self-sufficient: it opens the trace file itself, decodes
+only its shard's chunk subset, rebuilds the write index *locally* from
+the write-bearing chunks, and analyses its assigned threads with the
+ordinary :func:`repro.core.offline.analyze_thread` machinery.  Nothing
+mutable crosses the process boundary in either direction — the price is
+that every worker re-reads the write chunks, the payoff is that workers
+share no state and the result is exact by construction.
+
+Fault injection (for the retry/fallback tests) is part of the task:
+a ``fault`` field can make the worker die abruptly, raise, or hang,
+before it touches the trace.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..core.events import Event, EventKind
+from ..core.offline import WriteIndex, analyze_thread
+from ..core.profile_data import ProfileDatabase
+from .binfmt import decode_chunk, read_trace_meta
+
+__all__ = ["ShardTask", "WorkerResult", "run_shard"]
+
+_KERNEL = -1
+
+
+class ShardTask(NamedTuple):
+    """Everything a worker needs, picklable and immutable."""
+
+    trace_path: str
+    shard_id: int
+    threads: Tuple[int, ...]
+    chunk_indices: Tuple[int, ...]
+    context_sensitive: bool = False
+    keep_activations: bool = False
+    #: test-only fault injection: ``("crash-once", sentinel_path)``,
+    #: ``("crash-always",)``, ``("error",)``, or ``("hang", seconds)``
+    fault: Optional[Tuple] = None
+
+
+class WorkerResult(NamedTuple):
+    shard_id: int
+    db: ProfileDatabase
+    events_decoded: int
+    seconds: float
+    pid: int
+
+
+def _inject_fault(fault: Optional[Tuple]) -> None:
+    if fault is None:
+        return
+    kind = fault[0]
+    if kind == "crash-once":
+        sentinel = fault[1]
+        if not os.path.exists(sentinel):
+            with open(sentinel, "w"):
+                pass
+            os._exit(3)
+    elif kind == "crash-always":
+        os._exit(3)
+    elif kind == "error":
+        raise RuntimeError("injected worker error")
+    elif kind == "hang":
+        time.sleep(fault[1])
+    else:
+        raise ValueError(f"unknown fault {fault!r}")
+
+
+def run_shard(task: ShardTask) -> WorkerResult:
+    """Decode the shard's chunks, analyse its threads, return the profiles.
+
+    One pass over the chunk subset feeds two structures: the local
+    write index (every write in a decoded chunk, any thread) and the
+    per-thread event buckets (assigned threads only, with the same
+    skip rules as :func:`repro.core.offline.split_by_thread`).  Global
+    positions come from the chunk headers, so skipped chunks leave the
+    position space intact and the induced-first-access binary search
+    behaves exactly as it would over the full trace.
+    """
+    _inject_fault(task.fault)
+    started = time.perf_counter()
+    mine = frozenset(task.threads)
+    index = WriteIndex()
+    buckets: Dict[int, List[Tuple[int, Event]]] = {thread: [] for thread in task.threads}
+    decoded = 0
+
+    with open(task.trace_path, "rb") as stream:
+        meta = read_trace_meta(stream)
+        for chunk_index in task.chunk_indices:
+            chunk = meta.chunks[chunk_index]
+            for position, event in decode_chunk(stream, chunk, meta.names):
+                decoded += 1
+                kind = event.kind
+                if kind == EventKind.WRITE:
+                    index.add(event.arg, position, event.thread)
+                    if event.thread in mine:
+                        buckets[event.thread].append((position, event))
+                elif kind == EventKind.KERNEL_WRITE:
+                    index.add(event.arg, position, _KERNEL)
+                elif kind != EventKind.THREAD_SWITCH and event.thread in mine:
+                    buckets[event.thread].append((position, event))
+
+    db = ProfileDatabase(keep_activations=task.keep_activations)
+    for thread in task.threads:
+        analyze_thread(buckets[thread], thread, index, db,
+                       context_sensitive=task.context_sensitive)
+    return WorkerResult(task.shard_id, db, decoded,
+                        time.perf_counter() - started, os.getpid())

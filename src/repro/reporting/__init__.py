@@ -12,7 +12,13 @@ from .figures import (
     volume_curve,
     worst_case_series,
 )
-from .report import dump_points, parse_points, render_report, routine_summary
+from .report import (
+    dump_points,
+    parse_points,
+    render_farm_stats,
+    render_report,
+    routine_summary,
+)
 
 __all__ = [
     "Bottleneck",
@@ -29,6 +35,7 @@ __all__ = [
     "worst_case_series",
     "dump_points",
     "parse_points",
+    "render_farm_stats",
     "render_report",
     "render_html_report",
     "ProfileDiff",

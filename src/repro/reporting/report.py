@@ -15,7 +15,13 @@ from ..core.metrics import induced_split
 from ..core.profile_data import ProfileDatabase, RoutineProfile
 from .ascii_charts import table
 
-__all__ = ["routine_summary", "render_report", "dump_points", "parse_points"]
+__all__ = [
+    "routine_summary",
+    "render_report",
+    "dump_points",
+    "parse_points",
+    "render_farm_stats",
+]
 
 
 def routine_summary(profile: RoutineProfile) -> List:
@@ -48,6 +54,34 @@ def render_report(db: ProfileDatabase, merged: bool = True, title: str = "profil
         f"induced split: {thread_pct:.1f}% thread / {external_pct:.1f}% external\n"
     )
     return table(headers, rows, title=title) + footer
+
+
+def render_farm_stats(stats) -> str:
+    """Progress/health report of one farm run (``repro.farm.FarmStats``).
+
+    One row per shard — where it ran, how many pool attempts it took,
+    decode+analysis throughput — plus a footer with the plan strategy
+    and the retry/fallback tallies that show the failure policy at work.
+    """
+    rows = []
+    for outcome in stats.outcomes:
+        rows.append([
+            outcome.shard_id,
+            len(outcome.threads),
+            outcome.events,
+            f"{outcome.seconds * 1000:.1f}ms",
+            f"{outcome.events_per_s:,.0f}",
+            outcome.attempts,
+            outcome.where,
+        ])
+    headers = ["shard", "threads", "events", "time", "events/s", "attempts", "ran"]
+    footer = (
+        f"plan: {stats.strategy}   jobs: {stats.jobs}   "
+        f"trace events: {stats.event_count}   wall: {stats.wall_seconds * 1000:.1f}ms\n"
+        f"retries: {stats.retries}   inline fallbacks: {stats.fallbacks}   "
+        f"pool failures: {stats.pool_failures}\n"
+    )
+    return table(headers, rows, title="farm shards") + footer
 
 
 def dump_points(db: ProfileDatabase, stream: TextIO) -> int:

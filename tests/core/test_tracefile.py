@@ -68,11 +68,37 @@ def test_bad_argument_rejected():
         read_trace(io.StringIO("repro-trace 1\nr\t1\tnotanumber\n"))
 
 
-def test_tab_in_routine_name_rejected():
+@pytest.mark.parametrize("name", [
+    "evil\tname",
+    "multi\nline",
+    "back\\slash",
+    "\\t not a tab",
+    "tab\tnewline\nboth\\\t\n",
+    "plain_name",
+    "unicode·name",
+])
+def test_awkward_routine_names_roundtrip(name):
+    """Tabs/newlines/backslashes in routine names survive the v1 format."""
     buffer = io.StringIO()
     writer = TraceWriter(buffer)
+    writer.on_call(1, name)
+    writer.on_return(1)
+    buffer.seek(0)
+    events = read_trace(buffer)
+    assert events[0].arg == name
+
+
+def test_escape_name_helpers():
+    from repro.core.tracefile import escape_name, unescape_name
+
+    assert escape_name("plain") == "plain"
+    escaped = escape_name("a\tb\nc\\d")
+    assert "\t" not in escaped and "\n" not in escaped
+    assert unescape_name(escaped) == "a\tb\nc\\d"
     with pytest.raises(TraceFileError):
-        writer.on_call(1, "evil\tname")
+        unescape_name("dangling\\")
+    with pytest.raises(TraceFileError):
+        unescape_name("bad\\x")
 
 
 def test_write_trace_helper():

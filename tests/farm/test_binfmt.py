@@ -1,0 +1,181 @@
+"""Property and unit tests for the v2 binary trace format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Event, EventKind, write_trace
+from repro.farm import (
+    BinaryTraceError,
+    BinaryTraceWriter,
+    convert_v1_to_v2,
+    convert_v2_to_v1,
+    is_binary_trace,
+    iter_binary_trace,
+    read_binary_trace,
+    read_trace_meta,
+    write_binary_trace,
+)
+from repro.farm.binfmt import decode_chunk, iter_positioned
+
+from ..core.util import events_strategy
+
+
+def roundtrip(events, chunk_events=64):
+    buffer = io.BytesIO()
+    count = write_binary_trace(events, buffer, chunk_events=chunk_events)
+    assert count == len(events)
+    buffer.seek(0)
+    return read_binary_trace(buffer)
+
+
+@settings(max_examples=100, deadline=None)
+@given(events_strategy(), st.sampled_from([1, 3, 64, 4096]))
+def test_arbitrary_streams_roundtrip(events, chunk_events):
+    assert roundtrip(events, chunk_events) == events
+
+
+@settings(max_examples=60, deadline=None)
+@given(events_strategy(max_ops=80))
+def test_v1_v2_v1_conversion_is_lossless(events):
+    v1_original = io.StringIO()
+    write_trace(events, v1_original)
+
+    v1_original.seek(0)
+    v2 = io.BytesIO()
+    convert_v1_to_v2(v1_original, v2, chunk_events=16)
+    v2.seek(0)
+    v1_again = io.StringIO()
+    convert_v2_to_v1(v2, v1_again)
+    assert v1_again.getvalue() == v1_original.getvalue()
+
+
+@settings(max_examples=60, deadline=None)
+@given(events_strategy(max_ops=90), st.sampled_from([1, 7, 32]))
+def test_chunk_metadata_invariants(events, chunk_events):
+    buffer = io.BytesIO()
+    write_binary_trace(events, buffer, chunk_events=chunk_events)
+    buffer.seek(0)
+    meta = read_trace_meta(buffer)
+
+    assert meta.event_count == len(events)
+    assert sum(chunk.events for chunk in meta.chunks) == len(events)
+    # chunk positions tile the global position space contiguously
+    position = 0
+    for chunk in meta.chunks:
+        assert chunk.first_pos == position
+        assert 0 < chunk.events <= chunk_events
+        assert sum(chunk.thread_counts.values()) == chunk.events
+        expected_writes = sum(
+            1 for event in events[position:position + chunk.events]
+            if event.kind in (EventKind.WRITE, EventKind.KERNEL_WRITE)
+        )
+        assert chunk.writes == expected_writes
+        position += chunk.events
+    assert position == len(events)
+    # whole-trace thread totals match the event stream
+    totals = {}
+    for event in events:
+        totals[event.thread] = totals.get(event.thread, 0) + 1
+    assert meta.thread_totals() == totals
+
+
+@settings(max_examples=40, deadline=None)
+@given(events_strategy(max_ops=90))
+def test_random_access_chunk_decode(events):
+    """Decoding one chunk yields exactly that slice of the stream."""
+    buffer = io.BytesIO()
+    write_binary_trace(events, buffer, chunk_events=8)
+    buffer.seek(0)
+    meta = read_trace_meta(buffer)
+    for chunk in meta.chunks:
+        decoded = list(decode_chunk(buffer, chunk, meta.names))
+        assert [pair[1] for pair in decoded] == \
+            events[chunk.first_pos:chunk.first_pos + chunk.events]
+        assert [pair[0] for pair in decoded] == \
+            list(range(chunk.first_pos, chunk.first_pos + chunk.events))
+
+
+def test_iter_positioned_selected_chunks():
+    events = [Event(EventKind.READ, 1, addr) for addr in range(20)]
+    buffer = io.BytesIO()
+    write_binary_trace(events, buffer, chunk_events=5)
+    buffer.seek(0)
+    meta = read_trace_meta(buffer)
+    assert len(meta.chunks) == 4
+    picked = [meta.chunks[1], meta.chunks[3]]
+    pairs = list(iter_positioned(buffer, meta, picked))
+    assert [position for position, _ in pairs] == list(range(5, 10)) + list(range(15, 20))
+
+
+def test_routine_names_interned_and_restored():
+    names = ["f", "weird\tname", "multi\nline", "unicode·routine", "f"]
+    events = []
+    for name in names:
+        events.append(Event(EventKind.CALL, 1, name))
+        events.append(Event(EventKind.RETURN, 1, None))
+    assert roundtrip(events) == events
+    buffer = io.BytesIO()
+    write_binary_trace(events, buffer)
+    buffer.seek(0)
+    meta = read_trace_meta(buffer)
+    assert len(meta.names) == 4  # "f" interned once
+
+
+def test_empty_trace_roundtrip():
+    buffer = io.BytesIO()
+    assert write_binary_trace([], buffer) == 0
+    buffer.seek(0)
+    meta = read_trace_meta(buffer)
+    assert meta.event_count == 0 and meta.chunks == [] and meta.names == []
+    buffer.seek(0)
+    assert read_binary_trace(buffer) == []
+
+
+def test_writer_close_is_idempotent_and_seals():
+    buffer = io.BytesIO()
+    writer = BinaryTraceWriter(buffer)
+    writer.on_call(1, "f")
+    writer.close()
+    writer.close()
+    with pytest.raises(BinaryTraceError, match="sealed"):
+        writer.on_return(1)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(BinaryTraceError, match="bad magic"):
+        read_trace_meta(io.BytesIO(b"NOTATRACE" * 10))
+
+
+def test_unsealed_file_rejected():
+    buffer = io.BytesIO()
+    writer = BinaryTraceWriter(buffer, chunk_events=2)
+    for addr in range(6):
+        writer.on_read(1, addr)
+    # no close(): chunks exist but footer/trailer are missing
+    buffer.seek(0)
+    with pytest.raises(BinaryTraceError):
+        read_trace_meta(buffer)
+
+
+def test_is_binary_trace_sniffing(tmp_path):
+    v2 = tmp_path / "trace.rpt2"
+    with open(v2, "wb") as stream:
+        write_binary_trace([Event(EventKind.COST, 1, 5)], stream)
+    v1 = tmp_path / "trace.v1"
+    with open(v1, "w") as stream:
+        write_trace([Event(EventKind.COST, 1, 5)], stream)
+    assert is_binary_trace(str(v2))
+    assert not is_binary_trace(str(v1))
+    assert not is_binary_trace(str(tmp_path / "missing"))
+
+
+def test_negative_and_large_arguments_roundtrip():
+    events = [
+        Event(EventKind.READ, -5, 2**62),
+        Event(EventKind.WRITE, 3, -(2**40)),
+        Event(EventKind.COST, 0, 0),
+    ]
+    assert roundtrip(events) == events

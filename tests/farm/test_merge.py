@@ -1,0 +1,147 @@
+"""Merge semantics: associativity, commutativity, exactness, persistence."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProfileDatabase
+from repro.farm import (
+    ProfileDumpError,
+    copy_database,
+    load_profile,
+    merge_databases,
+    merge_into,
+    save_profile,
+)
+
+from .util import comparable
+
+
+def activation_strategy():
+    return st.tuples(
+        st.sampled_from(["f", "g", "name with space", "tab\tname"]),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=9),      # size
+        st.integers(min_value=0, max_value=50),     # cost
+        st.integers(min_value=0, max_value=4),      # induced (thread)
+        st.integers(min_value=0, max_value=4),      # induced (external)
+    )
+
+
+def database_strategy():
+    return st.lists(activation_strategy(), min_size=0, max_size=25).map(build_db)
+
+
+def build_db(activations):
+    db = ProfileDatabase()
+    for routine, thread, size, cost, ind_thread, ind_external in activations:
+        db.add_activation(routine, thread, size, cost, ind_thread, ind_external)
+        db.global_induced_thread += ind_thread
+        db.global_induced_external += ind_external
+    return db
+
+
+def snap(db):
+    return comparable(db) + (db.sizes_lower_bound,)
+
+
+@settings(max_examples=100, deadline=None)
+@given(database_strategy(), database_strategy(), database_strategy())
+def test_merge_is_associative(a, b, c):
+    left = merge_databases([merge_databases([a, b]), c])
+    right = merge_databases([a, merge_databases([b, c])])
+    assert snap(left) == snap(right)
+
+
+@settings(max_examples=100, deadline=None)
+@given(database_strategy(), database_strategy())
+def test_merge_is_commutative(a, b):
+    assert snap(merge_databases([a, b])) == snap(merge_databases([b, a]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(activation_strategy(), min_size=0, max_size=30),
+       st.integers(min_value=1, max_value=4))
+def test_sharded_merge_equals_single_database(activations, parts):
+    """Splitting activations across databases and merging reconstructs
+    the database built in one go — the farm's merge-across-shards case."""
+    shards = [activations[index::parts] for index in range(parts)]
+    merged = merge_databases([build_db(shard) for shard in shards])
+    assert snap(merged) == snap(build_db(activations))
+
+
+@settings(max_examples=50, deadline=None)
+@given(database_strategy())
+def test_empty_database_is_identity(db):
+    empty = ProfileDatabase()
+    assert snap(merge_databases([db, empty])) == snap(db)
+    assert snap(merge_databases([empty, db])) == snap(db)
+
+
+@settings(max_examples=50, deadline=None)
+@given(database_strategy(), database_strategy())
+def test_merge_into_does_not_mutate_source(a, b):
+    before = snap(b)
+    merge_into(a, b)
+    assert snap(b) == before
+    # and the merged copy is independent: mutating the result leaves b alone
+    a.add_activation("f", 1, 3, 7)
+    assert snap(b) == before
+
+
+def test_lower_bound_flag_ors_across_merges():
+    sampled = build_db([("f", 1, 2, 3, 0, 0)])
+    sampled.sizes_lower_bound = True
+    exact = build_db([("f", 1, 2, 4, 0, 0)])
+    assert merge_databases([exact, sampled]).sizes_lower_bound
+    assert merge_databases([sampled, exact]).sizes_lower_bound
+    assert not merge_databases([exact, exact]).sizes_lower_bound
+
+
+def test_copy_database_is_deep():
+    db = build_db([("f", 1, 2, 3, 1, 0)])
+    clone = copy_database(db)
+    clone.add_activation("f", 1, 2, 99)
+    assert db.profile("f", 1).calls == 1
+    assert clone.profile("f", 1).calls == 2
+
+
+@settings(max_examples=80, deadline=None)
+@given(database_strategy(), st.booleans())
+def test_save_load_roundtrip_is_exact(db, lower_bound):
+    db.sizes_lower_bound = lower_bound
+    dump = io.StringIO()
+    save_profile(db, dump)
+    dump.seek(0)
+    assert snap(load_profile(dump)) == snap(db)
+
+
+def test_load_rejects_bad_header():
+    with pytest.raises(ProfileDumpError, match="not a profile dump"):
+        load_profile(io.StringIO("something\nelse\n"))
+
+
+def test_load_reports_bad_line():
+    text = "repro-profile 1\nF lower_bound=0\nG not numbers\n"
+    with pytest.raises(ProfileDumpError, match="line 3"):
+        load_profile(io.StringIO(text))
+
+
+def test_load_rejects_point_before_profile():
+    text = "repro-profile 1\nS 1 1 1 1 1 1\n"
+    with pytest.raises(ProfileDumpError, match="before any profile"):
+        load_profile(io.StringIO(text))
+
+
+def test_merged_runs_enrich_the_plot():
+    """Two runs at different sizes: the merged plot has both points —
+    the cross-run aggregation the online profiler cannot do."""
+    run_small = build_db([("f", 1, 4, 10, 0, 0)])
+    run_large = build_db([("f", 1, 9, 55, 0, 0), ("f", 1, 4, 12, 0, 0)])
+    merged = merge_databases([run_small, run_large])
+    profile = merged.profile("f", 1)
+    assert profile.worst_case_points() == [(4, 12), (9, 55)]
+    assert profile.points[4].calls == 2
+    assert profile.points[4].cost_min == 10

@@ -1,0 +1,89 @@
+"""Shard-planning properties: exhaustive, disjoint, chunk-complete."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Event, EventKind
+from repro.farm import plan_shards, read_trace_meta, write_binary_trace
+
+from ..core.util import events_strategy
+
+
+def meta_of(events, chunk_events=8):
+    buffer = io.BytesIO()
+    write_binary_trace(events, buffer, chunk_events=chunk_events)
+    buffer.seek(0)
+    return read_trace_meta(buffer)
+
+
+@settings(max_examples=80, deadline=None)
+@given(events_strategy(max_ops=100), st.integers(min_value=1, max_value=6))
+def test_plan_covers_every_thread_exactly_once(events, jobs):
+    meta = meta_of(events)
+    plan = plan_shards(meta, jobs)
+    seen = []
+    for shard in plan.shards:
+        seen.extend(shard.threads)
+    assert sorted(seen) == sorted(meta.thread_totals())
+    assert len(plan.shards) <= jobs
+
+
+@settings(max_examples=60, deadline=None)
+@given(events_strategy(max_ops=100), st.integers(min_value=1, max_value=4))
+def test_shard_chunks_are_sufficient(events, jobs):
+    """A shard's chunk set contains every write chunk and every chunk
+    with one of its threads' events — what the worker's exactness needs."""
+    meta = meta_of(events, chunk_events=4)
+    plan = plan_shards(meta, jobs)
+    for shard in plan.shards:
+        mine = set(shard.threads)
+        chunk_set = set(shard.chunk_indices)
+        for index, chunk in enumerate(meta.chunks):
+            if chunk.writes or mine & set(chunk.thread_counts):
+                assert index in chunk_set
+
+
+def test_single_job_single_shard():
+    events = [Event(EventKind.READ, thread, thread) for thread in (1, 2, 3)] * 5
+    plan = plan_shards(meta_of(events), 1)
+    assert len(plan.shards) == 1
+    assert plan.shards[0].threads == (1, 2, 3)
+    assert plan.strategy == "by-thread"
+
+
+def test_balanced_threads_use_thread_strategy():
+    events = []
+    for _ in range(30):
+        for thread in (1, 2, 3, 4):
+            events.append(Event(EventKind.READ, thread, thread))
+    plan = plan_shards(meta_of(events), 2)
+    assert plan.strategy == "by-thread"
+    assert len(plan.shards) == 2
+    loads = sorted(shard.events for shard in plan.shards)
+    assert loads == [60, 60]
+
+
+def test_skewed_trace_falls_back_to_chunk_ranges():
+    # thread 1 owns ~90% of all events: LPT over threads degenerates
+    events = [Event(EventKind.READ, 1, index) for index in range(180)]
+    for thread in (2, 3, 4):
+        events.append(Event(EventKind.READ, thread, thread))
+    plan = plan_shards(meta_of(events, chunk_events=16), 3)
+    assert plan.strategy == "by-chunks"
+    seen = sorted(thread for shard in plan.shards for thread in shard.threads)
+    assert seen == [1, 2, 3, 4]
+
+
+def test_empty_trace_plans_no_shards():
+    plan = plan_shards(meta_of([]), 4)
+    assert plan.strategy == "empty"
+    assert plan.shards == []
+    assert plan.total_events() == 0
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        plan_shards(meta_of([]), 0)

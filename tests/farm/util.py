@@ -1,0 +1,40 @@
+"""Shared helpers for farm tests: v2 recording and comparable snapshots."""
+
+from __future__ import annotations
+
+from repro.core import TrmsProfiler, replay
+from repro.farm import BinaryTraceWriter, read_binary_trace
+from repro.workloads import benchmark
+
+
+def record_benchmark_v2(name, path, threads=4, scale=0.5, chunk_events=256):
+    """Record one benchmark execution straight to a v2 file; return events."""
+    with open(path, "wb") as stream:
+        writer = BinaryTraceWriter(stream, chunk_events=chunk_events)
+        benchmark(name).run(tools=writer, threads=threads, scale=scale)
+        writer.close()
+    with open(path, "rb") as stream:
+        return read_binary_trace(stream)
+
+
+def online_db(events, **kwargs):
+    """The ground truth: the online TRMS profiler over the same events."""
+    profiler = TrmsProfiler(keep_activations=True, **kwargs)
+    replay(events, profiler)
+    return profiler.db
+
+
+def comparable(db):
+    """Order-insensitive, exact snapshot of a profile database."""
+    profiles = {}
+    for profile in db:
+        points = {
+            size: (stats.calls, stats.cost_min, stats.cost_max,
+                   stats.cost_sum, stats.cost_sumsq)
+            for size, stats in profile.points.items()
+        }
+        profiles[(profile.routine, profile.thread)] = (
+            points, profile.calls, profile.size_sum, profile.cost_sum,
+            profile.induced_thread_sum, profile.induced_external_sum,
+        )
+    return profiles, db.total_induced(), sorted(db.activations)

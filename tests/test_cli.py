@@ -111,6 +111,89 @@ def test_analyze_rejects_non_trace(tmp_path):
     assert "error" in output
 
 
+def test_record_v2_is_binary_and_analyzable(tmp_path):
+    trace = tmp_path / "run.rpt2"
+    code, output = run_cli("record", "358.botsalgn", str(trace),
+                           "--threads", "2", "--scale", "0.5")
+    assert code == 0
+    assert "chunks" in output
+    assert trace.read_bytes().startswith(b"RPTRACE2")
+    code, output = run_cli("analyze", str(trace), "--metric", "trms")
+    assert code == 0
+    assert "trms profile" in output and "do_task" in output
+
+
+def test_record_v1_format_still_text(tmp_path):
+    trace = tmp_path / "run.trace"
+    code, _ = run_cli("record", "358.botsalgn", str(trace),
+                      "--threads", "2", "--scale", "0.5", "--format", "v1")
+    assert code == 0
+    assert trace.read_text().startswith("repro-trace 1")
+
+
+def test_analyze_jobs_matches_sequential(tmp_path):
+    trace = tmp_path / "run.rpt2"
+    run_cli("record", "350.md", str(trace), "--threads", "4", "--scale", "0.5")
+    code, sequential = run_cli("analyze", str(trace), "--metric", "trms")
+    assert code == 0
+    code, farmed = run_cli("analyze", str(trace), "--metric", "trms",
+                           "--jobs", "2")
+    assert code == 0
+    assert farmed == sequential  # identical rendered report: exactness
+
+
+def test_analyze_jobs_stats_report(tmp_path):
+    trace = tmp_path / "run.rpt2"
+    run_cli("record", "350.md", str(trace), "--threads", "4", "--scale", "0.5")
+    code, output = run_cli("analyze", str(trace), "--metric", "trms",
+                           "--jobs", "2", "--stats")
+    assert code == 0
+    assert "farm shards" in output
+    assert "events/s" in output
+    assert "plan: by-thread" in output
+
+
+def test_record_analyze_merge_fit_pipeline(tmp_path):
+    """The full farm workflow end to end through temp files."""
+    dumps = []
+    for index, scale in enumerate(("0.5", "1.0")):
+        trace = tmp_path / f"run{index}.rpt2"
+        code, _ = run_cli("record", "376.kdtree", str(trace),
+                          "--threads", "2", "--scale", scale)
+        assert code == 0
+        dump = tmp_path / f"run{index}.profile"
+        code, output = run_cli("analyze", str(trace), "--metric", "trms",
+                               "--jobs", "2", "--dump", str(dump))
+        assert code == 0
+        assert "profile points" in output
+        dumps.append(dump)
+    merged = tmp_path / "merged.profile"
+    code, output = run_cli("merge", "-o", str(merged), *map(str, dumps))
+    assert code == 0
+    assert "merged profile of 2 run(s)" in output
+    assert merged.exists()
+    code, output = run_cli("fit", str(merged), "search")
+    assert code == 0
+    assert "search:" in output and "R^2" in output
+
+
+def test_merge_rejects_non_profile(tmp_path):
+    bogus = tmp_path / "bogus.profile"
+    bogus.write_text("hello\n")
+    code, output = run_cli("merge", "-o", str(tmp_path / "out"), str(bogus))
+    assert code == 2
+    assert "error" in output
+
+
+def test_analyze_rms_with_jobs_notes_sequential(tmp_path):
+    trace = tmp_path / "run.rpt2"
+    run_cli("record", "350.md", str(trace), "--threads", "2", "--scale", "0.5")
+    code, output = run_cli("analyze", str(trace), "--jobs", "2")
+    assert code == 0
+    assert "rms runs sequentially" in output
+    assert "rms profile" in output and "trms profile" in output
+
+
 def test_profile_html_report(tmp_path):
     html_file = tmp_path / "report.html"
     code, output = run_cli("profile", "376.kdtree", "--threads", "2",

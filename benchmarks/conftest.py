@@ -113,18 +113,48 @@ def geometric_mean(values) -> float:
 
 _RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
+#: schema tag of benchmarks/results/*.json (bump on envelope changes)
+RESULT_SCHEMA = "repro-bench/1"
+
+
+def _git_sha() -> "str | None":
+    import subprocess
+
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(_RESULTS_DIR),
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip() or None
+    except Exception:
+        return None
+
 
 def save_result(name: str, payload) -> str:
     """Persist one experiment's series as JSON under benchmarks/results/.
 
     Every bench saves what it printed, so downstream plotting (or a
     later diff against the paper) never needs to re-run the suite.
-    Returns the path written.
+    The payload is wrapped in the shared ``repro-bench/1`` envelope —
+    ``schema``/``run_id``/``git_sha``/``timestamp``/``bench``/``scale``
+    around a ``metrics`` key — so result files from different sessions
+    and machines stay comparable.  Returns the path written.
     """
+    import datetime
     import json
+    import uuid
 
+    envelope = {
+        "schema": RESULT_SCHEMA,
+        "run_id": uuid.uuid4().hex,
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "bench": name,
+        "scale": bench_scale(),
+        "metrics": payload,
+    }
     os.makedirs(_RESULTS_DIR, exist_ok=True)
     path = os.path.join(_RESULTS_DIR, f"{name}.json")
     with open(path, "w") as stream:
-        json.dump(payload, stream, indent=2, default=str)
+        json.dump(envelope, stream, indent=2, default=str)
     return path

@@ -17,7 +17,18 @@ Commands:
   mergeable profile dump;
 * ``merge -o out.profile a.profile b.profile …`` — associatively merge
   profile dumps of several shards or several independent runs into one
-  richer profile.
+  richer profile;
+* ``overhead <benchmark>`` — measure the profilers' own slowdown and
+  space against a native run (the paper's Table 1 discipline) and
+  report from telemetry data alone;
+* ``stats <run>`` — render the dashboard of a recorded telemetry run
+  (span tree, worker heartbeats, metrics, overhead table), optionally
+  as a self-contained HTML file.
+
+Every pipeline command accepts ``--telemetry DIR``: spans, heartbeats
+and metrics of that invocation land in ``DIR/telemetry.jsonl`` for
+``repro stats`` (see ``docs/TELEMETRY.md``).  Telemetry never changes
+profile output — only observes it.
 
 The CLI works on the VM benchmark registry; profiling arbitrary Python
 programs goes through the library API (see ``examples/quickstart.py``).
@@ -29,6 +40,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import telemetry
 from .core import EventBus, RmsProfiler, TrmsProfiler
 from .curvefit import select_model
 from .reporting import render_bottlenecks, render_report, scatter
@@ -36,6 +48,13 @@ from .reporting.report import dump_points, parse_points
 from .workloads import all_benchmarks, benchmark
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_telemetry_option(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--telemetry", metavar="DIR",
+        help="record spans/heartbeats/metrics to DIR/telemetry.jsonl "
+             "(render with `repro stats DIR`)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,10 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "(sizes become lower bounds)")
     profile.add_argument("--html", metavar="FILE",
                          help="write a self-contained HTML report")
+    _add_telemetry_option(profile)
 
     fit = commands.add_parser("fit", help="fit a dumped cost plot")
     fit.add_argument("dump", help="TSV file produced by `profile --dump`")
     fit.add_argument("routine", help="routine to fit")
+    _add_telemetry_option(fit)
 
     record = commands.add_parser(
         "record", help="record a benchmark's event trace to a file"
@@ -81,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="v2: chunked binary (farm-ready); v1: text")
     record.add_argument("--chunk-events", type=int, default=4096, metavar="N",
                         help="events per v2 chunk (shard planning granularity)")
+    _add_telemetry_option(record)
 
     analyze = commands.add_parser(
         "analyze", help="run the profilers over a recorded trace"
@@ -96,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a mergeable profile dump (see `merge`)")
     analyze.add_argument("--stats", action="store_true",
                          help="print the farm shard/throughput report")
+    _add_telemetry_option(analyze)
 
     merge = commands.add_parser(
         "merge", help="merge profile dumps of several shards or runs"
@@ -104,6 +127,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="profile dumps produced by `analyze --dump`")
     merge.add_argument("-o", "--output", required=True,
                        help="merged profile dump to write")
+    _add_telemetry_option(merge)
+
+    overhead = commands.add_parser(
+        "overhead",
+        help="measure the profilers' own slowdown/space (Table 1 style)",
+    )
+    overhead.add_argument("benchmark", help="benchmark name (see `repro list`)")
+    overhead.add_argument("--threads", type=int, default=4)
+    overhead.add_argument("--scale", type=float, default=1.0)
+    overhead.add_argument("--repeats", type=int, default=3, metavar="N",
+                          help="runs per configuration (best-of-N wall time)")
+    overhead.add_argument("--tools", default=None, metavar="A,B,…",
+                          help="comma-separated tool list, or 'all' "
+                               "(default: nulgrind,aprof-rms,aprof-trms)")
+    _add_telemetry_option(overhead)
+
+    stats = commands.add_parser(
+        "stats", help="render the dashboard of a telemetry run"
+    )
+    stats.add_argument("run", help="run directory or telemetry.jsonl file")
+    stats.add_argument("--html", metavar="FILE",
+                       help="also write the dashboard as one HTML file")
 
     return parser
 
@@ -131,7 +176,9 @@ def _cmd_profile(args, out) -> int:
         from .tools import SamplingShim
 
         tools = SamplingShim(tools, period=args.sample)
-    machine = bench.run(tools=tools, threads=args.threads, scale=args.scale)
+    with telemetry.span("profile", benchmark=bench.name, metric=args.metric,
+                        threads=args.threads):
+        machine = bench.run(tools=tools, threads=args.threads, scale=args.scale)
     if args.sample > 1:
         for profiler in profilers.values():
             profiler.db.sizes_lower_bound = True
@@ -178,21 +225,27 @@ def _cmd_record(args, out) -> int:
     except KeyError as error:
         out.write(f"error: {error.args[0]}\n")
         return 2
-    if args.format == "v2":
-        from .farm import BinaryTraceWriter
+    with telemetry.span("record", benchmark=bench.name,
+                        format=args.format) as record_span:
+        if args.format == "v2":
+            from .farm import BinaryTraceWriter
 
-        with open(args.output, "wb") as stream:
-            writer = BinaryTraceWriter(stream, chunk_events=args.chunk_events)
-            machine = bench.run(tools=writer, threads=args.threads, scale=args.scale)
-            writer.close()
-        chunks = f", {len(writer.chunks)} chunks"
-    else:
-        from .core.tracefile import TraceWriter
+            with open(args.output, "wb") as stream:
+                writer = BinaryTraceWriter(stream, chunk_events=args.chunk_events)
+                machine = bench.run(tools=writer, threads=args.threads,
+                                    scale=args.scale)
+                writer.close()
+            chunks = f", {len(writer.chunks)} chunks"
+        else:
+            from .core.tracefile import TraceWriter
 
-        with open(args.output, "w") as stream:
-            writer = TraceWriter(stream)
-            machine = bench.run(tools=writer, threads=args.threads, scale=args.scale)
-        chunks = ""
+            with open(args.output, "w") as stream:
+                writer = TraceWriter(stream)
+                machine = bench.run(tools=writer, threads=args.threads,
+                                    scale=args.scale)
+            chunks = ""
+        record_span.set(events=writer.events_written)
+    telemetry.counter("record.events").inc(writer.events_written)
     out.write(f"recorded {writer.events_written} events "
               f"({machine.stats.total_blocks} basic blocks{chunks}) to {args.output}\n")
     return 0
@@ -203,13 +256,14 @@ def _cmd_analyze(args, out) -> int:
     from .core.tracefile import TraceFileError, iter_trace
     from .farm import is_binary_trace, iter_binary_trace, save_profile
 
-    def replay_trace(consumer) -> None:
-        if is_binary_trace(args.trace):
-            with open(args.trace, "rb") as stream:
-                replay(iter_binary_trace(stream), consumer)
-        else:
-            with open(args.trace) as stream:
-                replay(iter_trace(stream), consumer)
+    def replay_trace(consumer, metric: str) -> None:
+        with telemetry.span("analyze.replay", metric=metric):
+            if is_binary_trace(args.trace):
+                with open(args.trace, "rb") as stream:
+                    replay(iter_binary_trace(stream), consumer)
+            else:
+                with open(args.trace) as stream:
+                    replay(iter_trace(stream), consumer)
 
     databases = {}
     try:
@@ -231,7 +285,7 @@ def _cmd_analyze(args, out) -> int:
                 out.write("note: --jobs farms the trms analysis; "
                           "rms runs sequentially\n")
                 profiler = RmsProfiler(context_sensitive=args.context)
-                replay_trace(profiler)
+                replay_trace(profiler, "rms")
                 databases["rms"] = profiler.db
         else:
             profilers = {}
@@ -239,7 +293,7 @@ def _cmd_analyze(args, out) -> int:
                 profilers["rms"] = RmsProfiler(context_sensitive=args.context)
             if args.metric in ("trms", "both"):
                 profilers["trms"] = TrmsProfiler(context_sensitive=args.context)
-            replay_trace(EventBus(list(profilers.values())))
+            replay_trace(EventBus(list(profilers.values())), args.metric)
             databases = {metric: p.db for metric, p in profilers.items()}
     except (TraceFileError, OSError) as error:
         out.write(f"error: {error}\n")
@@ -268,7 +322,8 @@ def _cmd_merge(args, out) -> int:
     except (ProfileDumpError, OSError) as error:
         out.write(f"error: {error}\n")
         return 2
-    merged = merge_databases(databases)
+    with telemetry.span("merge", inputs=len(databases)):
+        merged = merge_databases(databases)
     with open(args.output, "w") as stream:
         count = save_profile(merged, stream)
     out.write(render_report(
@@ -298,17 +353,64 @@ def _cmd_fit(args, out) -> int:
     if len(points) < 2:
         out.write(f"{args.routine}: only {len(points)} point(s); cannot fit\n")
         return 1
-    selection = select_model(points)
+    with telemetry.span("fit.select", routine=args.routine,
+                        points=len(points)):
+        selection = select_model(points)
     out.write(scatter(points, title=f"{args.routine} — worst-case cost plot"))
     out.write(f"{args.routine}: {selection.name} "
               f"(R^2 = {selection.best.r2:.3f}, {len(points)} points)\n")
     return 0
 
 
-def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
-    out = out or sys.stdout
-    args = build_parser().parse_args(argv)
+def _cmd_overhead(args, out) -> int:
+    from .telemetry.overhead import (
+        DEFAULT_TOOLS, measure_overhead, render_overhead_report,
+    )
+
+    if args.tools is None:
+        tools = DEFAULT_TOOLS
+    elif args.tools == "all":
+        from .tools import TOOL_NAMES
+
+        tools = tuple(TOOL_NAMES)
+    else:
+        tools = tuple(name for name in args.tools.split(",") if name)
+    try:
+        tele = measure_overhead(
+            args.benchmark, threads=args.threads, scale=args.scale,
+            tools=tools, repeats=args.repeats,
+        )
+    except KeyError as error:
+        out.write(f"error: {error.args[0]}\n")
+        return 2
+    out.write(render_overhead_report(
+        tele.registry.snapshot(),
+        title=f"self-overhead on {args.benchmark} "
+              f"(best of {max(1, args.repeats)})"))
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    from .reporting import render_telemetry_dashboard, render_telemetry_html
+    from .telemetry import TelemetryRun
+
+    try:
+        run = TelemetryRun.load(args.run)
+    except OSError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    if not (run.spans or run.heartbeats or run.metrics or run.events):
+        out.write(f"error: no telemetry records in {args.run}\n")
+        return 2
+    out.write(render_telemetry_dashboard(run))
+    if args.html:
+        with open(args.html, "w") as stream:
+            stream.write(render_telemetry_html(run, title=f"telemetry: {args.run}"))
+        out.write(f"wrote HTML dashboard to {args.html}\n")
+    return 0
+
+
+def _dispatch(args, out) -> int:
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "profile":
@@ -321,4 +423,22 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "merge":
         return _cmd_merge(args, out)
+    if args.command == "overhead":
+        return _cmd_overhead(args, out)
+    if args.command == "stats":
+        return _cmd_stats(args, out)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    run_dir = getattr(args, "telemetry", None)
+    if run_dir:
+        with telemetry.session(run_dir):
+            code = _dispatch(args, out)
+        out.write(f"telemetry written to "
+                  f"{telemetry.resolve_log_path(run_dir)}\n")
+        return code
+    return _dispatch(args, out)

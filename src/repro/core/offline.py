@@ -37,6 +37,7 @@ import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from .context import compose_context
 from .events import Event, EventKind
 from .profile_data import ProfileDatabase
@@ -227,32 +228,39 @@ def analyze_trace(
     realised speedup; the *structure* — no shared mutable analysis
     state — is the point, and ports directly to processes.)
     """
-    index = build_write_index(events)
-    buckets = split_by_thread(events)
+    with telemetry.span("offline.index", events=len(events)) as index_span:
+        index = build_write_index(events)
+        buckets = split_by_thread(events)
+        index_span.set(cells=index.cells(), threads=len(buckets))
     thread_ids = list(buckets)
     databases = [ProfileDatabase(keep_activations=keep_activations)
                  for _ in thread_ids]
 
-    if workers <= 1 or len(thread_ids) <= 1:
-        for db, thread in zip(databases, thread_ids):
-            analyze_thread(buckets[thread], thread, index, db, context_sensitive)
-    else:
-        pending = list(zip(databases, thread_ids))
-        guard = threading.Lock()
+    with telemetry.span("offline.analyze", workers=workers,
+                        threads=len(thread_ids)):
+        if workers <= 1 or len(thread_ids) <= 1:
+            for db, thread in zip(databases, thread_ids):
+                analyze_thread(buckets[thread], thread, index, db,
+                               context_sensitive)
+        else:
+            pending = list(zip(databases, thread_ids))
+            guard = threading.Lock()
 
-        def drain() -> None:
-            while True:
-                with guard:
-                    if not pending:
-                        return
-                    db, thread = pending.pop()
-                analyze_thread(buckets[thread], thread, index, db, context_sensitive)
+            def drain() -> None:
+                while True:
+                    with guard:
+                        if not pending:
+                            return
+                        db, thread = pending.pop()
+                    analyze_thread(buckets[thread], thread, index, db,
+                                   context_sensitive)
 
-        pool = [threading.Thread(target=drain) for _ in range(min(workers, len(pending)))]
-        for worker in pool:
-            worker.start()
-        for worker in pool:
-            worker.join()
+            pool = [threading.Thread(target=drain)
+                    for _ in range(min(workers, len(pending)))]
+            for worker in pool:
+                worker.start()
+            for worker in pool:
+                worker.join()
 
     # Per-thread databases are key-disjoint (profiles are keyed by
     # (routine, thread)), so combining them is a plain dict union.

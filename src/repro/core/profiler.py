@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from .. import telemetry
 from .context import compose_context
 from .events import TraceConsumer
 from .profile_data import ProfileDatabase
@@ -162,10 +163,25 @@ class BaseProfiler(TraceConsumer):
 
         Routines still on a stack at the end of the run (``main``, thread
         entry points) are reported as if they returned at exit time.
+
+        Also the profiler's self-accounting moment: with telemetry live,
+        the session totals (timestamps issued, renumber passes, threads
+        seen, shadow-state bytes) land in the metrics registry — end-of-
+        run bookkeeping only, never per-event work, so the disabled path
+        costs one attribute check.
         """
         for state in self.states.values():
             while state.stack:
                 self._pop(state)
+        tele = telemetry.current()
+        if tele.enabled:
+            tele.counter("profiler.timestamps", tool=self.name).inc(self.count)
+            tele.counter("profiler.renumbers", tool=self.name).inc(self.renumber_count)
+            tele.counter("profiler.threads", tool=self.name).inc(len(self.states))
+            tele.counter("profiler.routines", tool=self.name).inc(
+                len(self.db.routines()))
+            tele.gauge("profiler.space_bytes", tool=self.name).set(
+                self.space_bytes())
 
     # -- renumbering -----------------------------------------------------------
 

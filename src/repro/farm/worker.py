@@ -10,6 +10,15 @@ mutable crosses the process boundary in either direction — the price is
 that every worker re-reads the write chunks, the payoff is that workers
 share no state and the result is exact by construction.
 
+**Heartbeats.**  A worker is also observable while it runs: given a
+``heartbeat_path``, it appends one JSON line every
+``heartbeat_events`` decoded events (and at every phase change) with
+its phase (``decode`` / ``analyze``), events processed, peak RSS and
+wall time — the coordinator tails these files to expose live progress
+and to attribute per-shard stalls.  Phase spans (wall + CPU) travel the
+same channel.  Heartbeats are fire-and-forget: any failure to write one
+is swallowed, because observability must never outrank the result.
+
 Fault injection (for the retry/fallback tests) is part of the task:
 a ``fault`` field can make the worker die abruptly, raise, or hang,
 before it touches the trace.
@@ -17,6 +26,7 @@ before it touches the trace.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import Dict, List, NamedTuple, Optional, Tuple
@@ -26,9 +36,17 @@ from ..core.offline import WriteIndex, analyze_thread
 from ..core.profile_data import ProfileDatabase
 from .binfmt import decode_chunk, read_trace_meta
 
-__all__ = ["ShardTask", "WorkerResult", "run_shard"]
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+__all__ = ["ShardTask", "WorkerResult", "run_shard", "DEFAULT_HEARTBEAT_EVENTS"]
 
 _KERNEL = -1
+
+#: decoded events between two heartbeats (plus one per phase change)
+DEFAULT_HEARTBEAT_EVENTS = 25000
 
 
 class ShardTask(NamedTuple):
@@ -43,6 +61,9 @@ class ShardTask(NamedTuple):
     #: test-only fault injection: ``("crash-once", sentinel_path)``,
     #: ``("crash-always",)``, ``("error",)``, or ``("hang", seconds)``
     fault: Optional[Tuple] = None
+    #: JSONL file this worker appends heartbeat/span records to
+    heartbeat_path: Optional[str] = None
+    heartbeat_events: int = DEFAULT_HEARTBEAT_EVENTS
 
 
 class WorkerResult(NamedTuple):
@@ -51,6 +72,63 @@ class WorkerResult(NamedTuple):
     events_decoded: int
     seconds: float
     pid: int
+    decode_seconds: float = 0.0
+    analyze_seconds: float = 0.0
+    max_rss_kb: int = 0
+    heartbeats: int = 0
+
+
+def _max_rss_kb() -> int:
+    if _resource is None:
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+class _Heart:
+    """Best-effort heartbeat/span appender for one shard."""
+
+    def __init__(self, task: ShardTask, started: float):
+        self.task = task
+        self.started = started
+        self.beats = 0
+        self._stream = None
+        if task.heartbeat_path is not None:
+            try:
+                self._stream = open(task.heartbeat_path, "a", encoding="utf-8")
+            except OSError:
+                self._stream = None
+
+    def _write(self, record: Dict) -> None:
+        if self._stream is None:
+            return
+        try:
+            self._stream.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._stream.flush()
+        except (OSError, ValueError):
+            self._stream = None
+
+    def beat(self, phase: str, events: int) -> None:
+        self.beats += 1
+        self._write({
+            "type": "heartbeat", "shard": self.task.shard_id, "phase": phase,
+            "events": events, "rss_kb": _max_rss_kb(), "pid": os.getpid(),
+            "wall": round(time.perf_counter() - self.started, 6),
+        })
+
+    def span(self, name: str, wall: float, cpu: float, **attrs) -> None:
+        self._write({
+            "type": "span", "name": name, "shard": self.task.shard_id,
+            "wall": round(wall, 6), "cpu": round(cpu, 6), "ok": True,
+            "attrs": attrs,
+        })
+
+    def close(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
 
 
 def _inject_fault(fault: Optional[Tuple]) -> None:
@@ -86,6 +164,10 @@ def run_shard(task: ShardTask) -> WorkerResult:
     """
     _inject_fault(task.fault)
     started = time.perf_counter()
+    cpu0 = time.process_time()
+    heart = _Heart(task, started)
+    heart.beat("decode", 0)
+    beat_every = max(1, task.heartbeat_events)
     mine = frozenset(task.threads)
     index = WriteIndex()
     buckets: Dict[int, List[Tuple[int, Event]]] = {thread: [] for thread in task.threads}
@@ -97,6 +179,8 @@ def run_shard(task: ShardTask) -> WorkerResult:
             chunk = meta.chunks[chunk_index]
             for position, event in decode_chunk(stream, chunk, meta.names):
                 decoded += 1
+                if decoded % beat_every == 0:
+                    heart.beat("decode", decoded)
                 kind = event.kind
                 if kind == EventKind.WRITE:
                     index.add(event.arg, position, event.thread)
@@ -107,9 +191,26 @@ def run_shard(task: ShardTask) -> WorkerResult:
                 elif kind != EventKind.THREAD_SWITCH and event.thread in mine:
                     buckets[event.thread].append((position, event))
 
+    decode_seconds = time.perf_counter() - started
+    decode_cpu = time.process_time() - cpu0
+    heart.span("worker.decode", decode_seconds, decode_cpu,
+               events=decoded, chunks=len(task.chunk_indices))
+    heart.beat("analyze", decoded)
+
+    analyze_started = time.perf_counter()
+    analyze_cpu0 = time.process_time()
     db = ProfileDatabase(keep_activations=task.keep_activations)
     for thread in task.threads:
         analyze_thread(buckets[thread], thread, index, db,
                        context_sensitive=task.context_sensitive)
+        heart.beat("analyze", decoded)
+    analyze_seconds = time.perf_counter() - analyze_started
+    heart.span("worker.analyze", analyze_seconds,
+               time.process_time() - analyze_cpu0,
+               threads=len(task.threads))
+    heart.beat("done", decoded)
+    heart.close()
     return WorkerResult(task.shard_id, db, decoded,
-                        time.perf_counter() - started, os.getpid())
+                        time.perf_counter() - started, os.getpid(),
+                        decode_seconds, analyze_seconds, _max_rss_kb(),
+                        heart.beats)

@@ -3,7 +3,8 @@
 from .ascii_charts import bars, scatter, table
 from .bottlenecks import Bottleneck, rank_bottlenecks, render_bottlenecks
 from .diffing import ProfileDiff, diff_databases, render_diff
-from .html import render_html_report, svg_scatter
+from .html import render_html_report, svg_scatter, svg_timeline
+from .telemetry import render_telemetry_dashboard, render_telemetry_html
 from .figures import (
     external_input_curve,
     induced_breakdown,
@@ -38,6 +39,9 @@ __all__ = [
     "render_farm_stats",
     "render_report",
     "render_html_report",
+    "render_telemetry_dashboard",
+    "render_telemetry_html",
+    "svg_timeline",
     "ProfileDiff",
     "diff_databases",
     "render_diff",

@@ -68,20 +68,33 @@ def scatter(
     return "\n".join(lines) + "\n"
 
 
-def table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
-    """Render a padded text table."""
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    left: Sequence[int] = (),
+) -> str:
+    """Render a padded text table.
+
+    Cells are right-justified (the numeric default); column indices in
+    ``left`` are left-justified instead — the telemetry span tree needs
+    its indentation to survive padding.
+    """
     rendered_rows = [[str(cell) for cell in row] for row in rows]
     widths = [len(header) for header in headers]
     for row in rendered_rows:
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
+    leftward = set(left)
     lines = []
     if title:
         lines.append(title)
     lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
     lines.append("  ".join("-" * w for w in widths))
     for row in rendered_rows:
-        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        lines.append("  ".join(
+            cell.ljust(w) if index in leftward else cell.rjust(w)
+            for index, (cell, w) in enumerate(zip(row, widths))))
     return "\n".join(lines) + "\n"
 
 

@@ -22,7 +22,7 @@ from ..core.profile_data import ProfileDatabase, RoutineProfile
 from .bottlenecks import rank_bottlenecks
 from .report import routine_summary
 
-__all__ = ["render_html_report", "svg_scatter"]
+__all__ = ["render_html_report", "svg_scatter", "svg_timeline", "PAGE_STYLE"]
 
 _STYLE = """
 body { font-family: sans-serif; margin: 2em; color: #222; }
@@ -34,6 +34,61 @@ th { background: #eee; } td:first-child, th:first-child { text-align: left; }
 figure { margin: 0; } figcaption { font-size: 0.85em; text-align: center; }
 .meta { color: #555; }
 """
+
+#: shared document style, reused by the telemetry dashboard
+PAGE_STYLE = _STYLE
+
+#: timeline lane colours, cycled by nesting depth
+_LANE_COLORS = ("#2266aa", "#44aa77", "#cc8833", "#aa4466", "#7755bb")
+
+
+def svg_timeline(
+    intervals: Sequence[Tuple[str, float, float, int]],
+    width: int = 840,
+    row_height: int = 18,
+) -> str:
+    """Render ``(label, start, duration, depth)`` intervals as a Gantt SVG.
+
+    One row per interval, in the given order; ``depth`` indents the bar
+    and picks its colour, so nested telemetry spans read as a flame
+    chart lying on its side.  Times are seconds on a shared axis.
+    """
+    if not intervals:
+        return '<svg width="10" height="10"></svg>'
+    pad_left, pad_right, pad_top = 180, 70, 4
+    span_width = width - pad_left - pad_right
+    t_min = min(start for _, start, _, _ in intervals)
+    t_max = max(start + max(duration, 0.0) for _, start, duration, _ in intervals)
+    t_span = (t_max - t_min) or 1e-9
+    height = pad_top * 2 + row_height * len(intervals)
+
+    parts = []
+    for row, (label, start, duration, depth) in enumerate(intervals):
+        x = pad_left + (start - t_min) / t_span * span_width
+        bar = max((duration / t_span) * span_width, 1.0)
+        y = pad_top + row * row_height
+        color = _LANE_COLORS[min(depth, len(_LANE_COLORS) - 1)]
+        indent = "&#160;" * (2 * depth)
+        parts.append(
+            f'<text x="4" y="{y + row_height - 6}" font-size="11">'
+            f'{indent}{escape(label)}</text>'
+            f'<rect x="{x:.1f}" y="{y + 2}" width="{bar:.1f}" '
+            f'height="{row_height - 6}" fill="{color}" rx="2"/>'
+            f'<text x="{min(x + bar + 4, width - pad_right + 2):.1f}" '
+            f'y="{y + row_height - 6}" font-size="10" fill="#555">'
+            f'{duration * 1000:.1f}ms</text>'
+        )
+    axis = (
+        f'<line x1="{pad_left}" y1="{height - pad_top}" '
+        f'x2="{width - pad_right}" y2="{height - pad_top}" stroke="#bbb"/>'
+    )
+    return (
+        f'<svg width="{width}" height="{height + 14}" '
+        f'xmlns="http://www.w3.org/2000/svg">{"".join(parts)}{axis}'
+        f'<text x="{pad_left}" y="{height + 10}" font-size="10">0s</text>'
+        f'<text x="{width - pad_right}" y="{height + 10}" font-size="10" '
+        f'text-anchor="end">{t_span:.3f}s</text></svg>'
+    )
 
 
 def svg_scatter(

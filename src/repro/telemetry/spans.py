@@ -1,0 +1,299 @@
+"""Span-based tracing and the process-wide telemetry handle.
+
+A *span* wraps one phase of the pipeline::
+
+    with telemetry.span("analyze.shard", shard=3):
+        ...
+
+and records, on exit, a JSONL line with the span's name, id, parent id
+(spans nest per thread), start offset from the run epoch, wall and CPU
+seconds, attributes, and whether the body raised.  Span bodies are
+never altered: exceptions propagate, and the profile computation a span
+surrounds cannot observe the span — the differential tests hold the
+telemetry layer to bit-identical profile output either way.
+
+The module also owns the **current telemetry** of the process.  It
+defaults to :data:`NULL`, whose spans are one shared no-op context
+manager and whose metrics are shared no-op singletons — enabling the
+instrumentation points sprinkled through the profiler, farm and CLI to
+stay in place at effectively zero cost.  ``configure()`` swaps in a
+live :class:`Telemetry`; the ``session()`` context manager scopes one
+(the CLI's ``--telemetry DIR`` uses it).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+from .jsonl import JsonlSink, resolve_log_path
+from .registry import MetricsRegistry, NullRegistry
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "configure",
+    "disable",
+    "current",
+    "session",
+    "span",
+    "event",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+
+class _Span:
+    """Context manager for one span of one :class:`Telemetry`."""
+
+    __slots__ = ("_telemetry", "name", "attrs", "span_id", "parent",
+                 "_wall0", "_cpu0", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: Dict):
+        self._telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent: Optional[int] = None
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes discovered while the span body runs."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        telemetry = self._telemetry
+        self.span_id = telemetry._next_id()
+        stack = telemetry._stack()
+        self.parent = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start = time.time() - telemetry.epoch
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        telemetry = self._telemetry
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        stack = telemetry._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        record = {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent,
+            "start": round(self._start, 6),
+            "wall": round(wall, 6),
+            "cpu": round(cpu, 6),
+            "ok": exc_type is None,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        telemetry.emit(record)
+        # every span also feeds the wall-time histogram, so metric data
+        # alone can answer "where did the time go" without the span log
+        telemetry.registry.histogram("span.wall_ms", span=self.name).observe(
+            wall * 1000.0)
+
+
+class Telemetry:
+    """A live telemetry run: one registry plus an optional JSONL sink."""
+
+    enabled = True
+
+    def __init__(self, path: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sink = JsonlSink(resolve_log_path(path)) if path else None
+        self.epoch = time.time()
+        self._id_lock = threading.Lock()
+        self._last_id = 0
+        self._local = threading.local()
+        self._closed = False
+        self.emit({
+            "type": "meta", "version": 1, "epoch": round(self.epoch, 3),
+            "pid": os.getpid(),
+        })
+
+    # -- span plumbing ------------------------------------------------------
+
+    def _next_id(self) -> int:
+        with self._id_lock:
+            self._last_id += 1
+            return self._last_id
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- public surface -----------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **fields) -> None:
+        self.emit({"type": "event", "name": name,
+                   "start": round(time.time() - self.epoch, 6), **fields})
+
+    def emit(self, record: Dict) -> None:
+        """Write one raw record to the sink (no-op without a sink).
+
+        The farm coordinator uses this to re-emit span and heartbeat
+        records harvested from worker heartbeat files.
+        """
+        if self.sink is not None:
+            self.sink.write(record)
+
+    def counter(self, name: str, **labels):
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels):
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels):
+        return self.registry.histogram(name, **labels)
+
+    def close(self) -> None:
+        """Seal the run: write the metrics snapshot, close the sink."""
+        if self._closed:
+            return
+        self._closed = True
+        self.emit({"type": "metrics", "metrics": self.registry.snapshot()})
+        if self.sink is not None:
+            self.sink.close()
+
+
+class _NullSpan:
+    """The shared do-nothing span (also usable as a plain ``with`` target)."""
+
+    __slots__ = ()
+    name = None
+    span_id = 0
+    parent = None
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_REGISTRY = NullRegistry()
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a shared no-op."""
+
+    enabled = False
+    sink = None
+    registry = _NULL_REGISTRY
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def emit(self, record: Dict) -> None:
+        pass
+
+    def counter(self, name: str, **labels):
+        return _NULL_REGISTRY.counter(name)
+
+    def gauge(self, name: str, **labels):
+        return _NULL_REGISTRY.gauge(name)
+
+    def histogram(self, name: str, **labels):
+        return _NULL_REGISTRY.histogram(name)
+
+    def current_span_id(self) -> Optional[int]:
+        return None
+
+    def close(self) -> None:
+        pass
+
+
+NULL = NullTelemetry()
+
+_current: "Telemetry | NullTelemetry" = NULL
+
+
+def configure(path: Optional[str] = None,
+              registry: Optional[MetricsRegistry] = None) -> Telemetry:
+    """Install (and return) a live telemetry as the process current.
+
+    ``path`` may be a run directory (the log becomes
+    ``<path>/telemetry.jsonl``) or an explicit ``.jsonl`` file; with no
+    path the run is metrics-only (no event log).
+    """
+    global _current
+    telemetry = Telemetry(path, registry=registry)
+    _current = telemetry
+    return telemetry
+
+
+def disable() -> None:
+    """Close any live telemetry and restore the no-op default."""
+    global _current
+    _current.close()
+    _current = NULL
+
+
+def current() -> "Telemetry | NullTelemetry":
+    return _current
+
+
+@contextlib.contextmanager
+def session(path: Optional[str] = None,
+            registry: Optional[MetricsRegistry] = None):
+    """Scoped telemetry: configure on entry, close and restore on exit."""
+    global _current
+    previous = _current
+    telemetry = Telemetry(path, registry=registry)
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        telemetry.close()
+        _current = previous
+
+
+# -- module-level conveniences (route to the current telemetry) -------------
+
+def span(name: str, **attrs):
+    return _current.span(name, **attrs)
+
+
+def event(name: str, **fields) -> None:
+    _current.event(name, **fields)
+
+
+def counter(name: str, **labels):
+    return _current.counter(name, **labels)
+
+
+def gauge(name: str, **labels):
+    return _current.gauge(name, **labels)
+
+
+def histogram(name: str, **labels):
+    return _current.histogram(name, **labels)

@@ -1,0 +1,148 @@
+"""Metrics registry: bucket edges, label identity, thread safety, merge."""
+
+import math
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    NullRegistry,
+    bucket_bound,
+    bucket_index,
+    merge_snapshots,
+)
+from repro.telemetry.registry import MAX_BUCKET
+
+
+@pytest.mark.parametrize("value,expected", [
+    (-5, 0),
+    (0, 0),
+    (0.4, 0),
+    (1, 0),
+    (1.5, 1),
+    (2, 1),
+    (2.5, 2),
+    (3, 2),
+    (4, 2),
+    (4.001, 3),
+    (8, 3),
+    (1024, 10),
+    (float(2 ** 200), MAX_BUCKET),
+])
+def test_bucket_index_edges(value, expected):
+    assert bucket_index(value) == expected
+
+
+def test_bucket_index_bound_consistency():
+    """Every value lands in a bucket whose bound covers it, and would
+    not fit the previous bucket — the (2^(i-1), 2^i] contract."""
+    for value in (1, 1.01, 2, 3, 5, 100, 1000.5, 65536):
+        index = bucket_index(value)
+        assert value <= bucket_bound(index)
+        if index > 0:
+            assert value > bucket_bound(index - 1)
+
+
+def test_bucket_bound_overflow_is_inf():
+    assert bucket_bound(MAX_BUCKET) == math.inf
+    assert bucket_bound(MAX_BUCKET + 7) == math.inf
+
+
+def test_labels_identify_metrics():
+    registry = MetricsRegistry()
+    registry.counter("farm.retries", shard=0).inc()
+    registry.counter("farm.retries", shard=1).inc(4)
+    registry.counter("farm.retries", shard=0).inc()
+    assert registry.counter("farm.retries", shard=0).value == 2
+    assert registry.counter("farm.retries", shard=1).value == 4
+    assert len(registry) == 2
+    # label order never splits a series
+    assert registry.counter("x", a=1, b=2) is registry.counter("x", b=2, a=1)
+
+
+def test_same_name_different_kind_coexist():
+    registry = MetricsRegistry()
+    registry.counter("thing").inc()
+    registry.gauge("thing").set(7)
+    assert len(registry) == 2
+    assert registry.find("thing", kind="gauge")[0]["value"] == 7
+
+
+def test_histogram_snapshot():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency_ms", op="decode")
+    for value in (0.5, 1, 2, 3, 900):
+        histogram.observe(value)
+    snap = registry.find("latency_ms", kind="histogram", op="decode")[0]
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(906.5)
+    assert snap["buckets"] == {"0": 2, "1": 1, "2": 1, "10": 1}
+
+
+def test_registry_thread_safety_hammer():
+    registry = MetricsRegistry()
+    threads = 8
+    rounds = 2000
+
+    def hammer(seed: int) -> None:
+        for i in range(rounds):
+            registry.counter("hits", worker=seed % 2).inc()
+            registry.gauge("level", worker=seed).set(i)
+            registry.histogram("obs").observe(i % 37)
+
+    pool = [threading.Thread(target=hammer, args=(seed,))
+            for seed in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    assert registry.counter("hits", worker=0).value == rounds * threads / 2
+    assert registry.counter("hits", worker=1).value == rounds * threads / 2
+    histogram = registry.histogram("obs")
+    assert histogram.count == rounds * threads
+    assert sum(histogram.buckets.values()) == rounds * threads
+
+
+def test_snapshot_deterministic_order():
+    first, second = MetricsRegistry(), MetricsRegistry()
+    first.counter("b").inc()
+    first.counter("a", x=1).inc()
+    second.counter("a", x=1).inc()
+    second.counter("b").inc()
+    names = lambda registry: [(e["name"], tuple(sorted(e["labels"].items())))
+                              for e in registry.snapshot()]
+    assert names(first) == names(second)
+
+
+def test_merge_snapshots():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("events").inc(10)
+    b.counter("events").inc(5)
+    a.gauge("rss").set(100)
+    b.gauge("rss").set(250)
+    a.histogram("ms").observe(3)
+    b.histogram("ms").observe(3)
+    b.histogram("ms").observe(1000)
+    merged = {(e["kind"], e["name"]): e
+              for e in merge_snapshots([a.snapshot(), b.snapshot()])}
+    assert merged[("counter", "events")]["value"] == 15
+    assert merged[("gauge", "rss")]["value"] == 250  # max, not sum
+    histogram = merged[("histogram", "ms")]
+    assert histogram["count"] == 3
+    assert histogram["buckets"]["2"] == 2
+    assert histogram["buckets"]["10"] == 1
+
+
+def test_null_registry_discards_and_shares():
+    registry = NullRegistry()
+    counter = registry.counter("anything", shard=3)
+    counter.inc(99)
+    assert counter.value == 0
+    # shared singleton: no allocation per call site
+    assert registry.counter("other") is counter
+    registry.gauge("g").set(5)
+    registry.histogram("h").observe(5)
+    assert registry.snapshot() == []
+    assert len(registry) == 0

@@ -1,0 +1,40 @@
+"""benchmarks/results JSON envelope: the shared repro-bench/1 schema."""
+
+import importlib.util
+import json
+import os
+
+_CONFTEST = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, os.pardir, "benchmarks", "conftest.py")
+
+
+def _load_bench_conftest():
+    spec = importlib.util.spec_from_file_location("bench_conftest", _CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_save_result_wraps_payload_in_envelope(tmp_path, monkeypatch):
+    conftest = _load_bench_conftest()
+    monkeypatch.setattr(conftest, "_RESULTS_DIR", str(tmp_path))
+    path = conftest.save_result("fig99_demo", {"series": [1, 2, 3]})
+    with open(path) as stream:
+        envelope = json.load(stream)
+    assert envelope["schema"] == conftest.RESULT_SCHEMA == "repro-bench/1"
+    assert envelope["bench"] == "fig99_demo"
+    assert envelope["metrics"] == {"series": [1, 2, 3]}
+    assert len(envelope["run_id"]) == 32
+    assert envelope["timestamp"].endswith("+00:00")  # absolute, UTC
+    assert isinstance(envelope["scale"], float)
+    # git_sha is best-effort: a 40-hex string inside a checkout, else None
+    sha = envelope["git_sha"]
+    assert sha is None or (len(sha) == 40 and int(sha, 16) >= 0)
+
+
+def test_two_runs_get_distinct_run_ids(tmp_path, monkeypatch):
+    conftest = _load_bench_conftest()
+    monkeypatch.setattr(conftest, "_RESULTS_DIR", str(tmp_path))
+    first = json.load(open(conftest.save_result("a", {})))
+    second = json.load(open(conftest.save_result("a", {})))
+    assert first["run_id"] != second["run_id"]

@@ -1,0 +1,142 @@
+"""Span tracing: nesting, exception paths, JSONL round-trip, sessions."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Telemetry, TelemetryRun, iter_records
+
+
+def test_span_nesting_parent_ids(tmp_path):
+    tele = Telemetry(str(tmp_path))
+    with tele.span("outer") as outer:
+        with tele.span("inner") as inner:
+            with tele.span("leaf") as leaf:
+                pass
+        with tele.span("sibling") as sibling:
+            pass
+    tele.close()
+    run = TelemetryRun.load(str(tmp_path))
+    by_name = {span["name"]: span for span in run.spans}
+    assert by_name["outer"]["parent"] is None
+    assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+    assert by_name["leaf"]["parent"] == by_name["inner"]["id"]
+    assert by_name["sibling"]["parent"] == by_name["outer"]["id"]
+    assert {outer.span_id, inner.span_id, leaf.span_id, sibling.span_id} == \
+        {span["id"] for span in run.spans}
+
+
+def test_span_exception_recorded_and_reraised(tmp_path):
+    tele = Telemetry(str(tmp_path))
+    with pytest.raises(ValueError):
+        with tele.span("doomed"):
+            raise ValueError("boom")
+    with tele.span("fine"):
+        pass
+    tele.close()
+    run = TelemetryRun.load(str(tmp_path))
+    doomed = run.spans_named("doomed")[0]
+    assert doomed["ok"] is False
+    assert doomed["error"] == "ValueError"
+    assert run.spans_named("fine")[0]["ok"] is True
+    # the failed span unwound the stack: "fine" is not its child
+    assert run.spans_named("fine")[0]["parent"] is None
+
+
+def test_span_attrs_and_set(tmp_path):
+    tele = Telemetry(str(tmp_path))
+    with tele.span("work", shard=3) as span:
+        span.set(events=1275)
+    tele.close()
+    run = TelemetryRun.load(str(tmp_path))
+    assert run.spans_named("work")[0]["attrs"] == {"shard": 3, "events": 1275}
+
+
+def test_spans_nest_per_thread(tmp_path):
+    tele = Telemetry(str(tmp_path))
+    barrier = threading.Barrier(2)
+
+    def run_thread(name: str) -> None:
+        barrier.wait()
+        with tele.span(name):
+            barrier.wait()
+
+    pool = [threading.Thread(target=run_thread, args=(f"t{i}",))
+            for i in range(2)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    tele.close()
+    run = TelemetryRun.load(str(tmp_path))
+    # concurrent same-level spans in different threads are both roots
+    assert [span["parent"] for span in run.spans] == [None, None]
+
+
+def test_jsonl_round_trip_and_meta(tmp_path):
+    tele = Telemetry(str(tmp_path))
+    tele.event("checkpoint", detail="after plan")
+    tele.counter("things").inc(3)
+    with tele.span("phase"):
+        pass
+    tele.close()
+    records = list(iter_records(str(tmp_path)))
+    assert records[0]["type"] == "meta"
+    assert records[0]["version"] == 1
+    assert records[-1]["type"] == "metrics"
+    run = TelemetryRun.load(str(tmp_path))
+    assert run.counter_value("things") == 3
+    assert run.events[0]["name"] == "checkpoint"
+    assert run.span_names() == ["phase"]
+    totals = run.span_totals()
+    assert totals["phase"]["calls"] == 1
+    # every span also lands in the wall-time histogram
+    assert run.find_metrics("span.wall_ms", kind="histogram", span="phase")
+
+
+def test_reader_skips_torn_last_line(tmp_path):
+    log = tmp_path / "telemetry.jsonl"
+    log.write_text(json.dumps({"type": "span", "name": "ok", "id": 1}) +
+                   "\n{\"type\": \"span\", \"na")
+    run = TelemetryRun.load(str(tmp_path))
+    assert run.span_names() == ["ok"]
+
+
+def test_session_scoping_and_restore(tmp_path):
+    assert telemetry.current() is telemetry.NULL
+    with telemetry.session(str(tmp_path)) as tele:
+        assert telemetry.current() is tele
+        with telemetry.span("scoped"):
+            pass
+    assert telemetry.current() is telemetry.NULL
+    run = TelemetryRun.load(str(tmp_path))
+    assert run.span_names() == ["scoped"]
+    assert run.metrics  # close() sealed the run with the snapshot
+
+
+def test_null_telemetry_is_zero_cost_shared():
+    null = telemetry.NULL
+    assert not null.enabled
+    span = null.span("anything", shard=1)
+    assert span is null.span("other")  # one shared no-op span
+    with span:
+        pass
+    null.counter("c").inc()
+    null.gauge("g").set(1)
+    null.histogram("h").observe(1)
+    null.event("e")
+    null.close()
+    assert null.current_span_id() is None
+    # module-level helpers route to NULL when no session is live
+    assert telemetry.span("x") is span
+
+
+def test_metrics_only_telemetry_without_sink():
+    tele = Telemetry()  # no path: no event log
+    with tele.span("quiet"):
+        tele.counter("seen").inc()
+    tele.close()
+    assert tele.sink is None
+    assert tele.registry.find("seen", kind="counter")[0]["value"] == 1

@@ -202,3 +202,76 @@ def test_profile_html_report(tmp_path):
     content = html_file.read_text()
     assert content.startswith("<!DOCTYPE html>")
     assert "search" in content
+
+
+def test_analyze_with_telemetry_writes_log_and_identical_profile(tmp_path):
+    from repro.telemetry import TelemetryRun
+
+    trace = tmp_path / "run.rpt2"
+    run_cli("record", "350.md", str(trace), "--threads", "4", "--scale", "0.5")
+    dump_without = tmp_path / "without.profile"
+    code, _ = run_cli("analyze", str(trace), "--metric", "trms",
+                      "--jobs", "2", "--dump", str(dump_without))
+    assert code == 0
+    dump_with = tmp_path / "with.profile"
+    tele_dir = tmp_path / "tele"
+    code, output = run_cli("analyze", str(trace), "--metric", "trms",
+                           "--jobs", "2", "--dump", str(dump_with),
+                           "--telemetry", str(tele_dir))
+    assert code == 0
+    assert "telemetry written to" in output
+    # telemetry observes, never perturbs: bit-identical profile dump
+    assert dump_with.read_bytes() == dump_without.read_bytes()
+    run = TelemetryRun.load(str(tele_dir))
+    assert "analyze.pool" in run.span_names()
+    assert run.heartbeats
+
+
+def test_stats_renders_dashboard_and_html(tmp_path):
+    trace = tmp_path / "run.rpt2"
+    run_cli("record", "350.md", str(trace), "--threads", "4", "--scale", "0.5")
+    tele_dir = tmp_path / "tele"
+    run_cli("analyze", str(trace), "--metric", "trms", "--jobs", "2",
+            "--telemetry", str(tele_dir))
+    html_file = tmp_path / "dash.html"
+    code, output = run_cli("stats", str(tele_dir), "--html", str(html_file))
+    assert code == 0
+    assert "span tree" in output
+    assert "worker heartbeats" in output
+    assert html_file.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_stats_rejects_missing_run(tmp_path):
+    code, output = run_cli("stats", str(tmp_path / "nope"))
+    assert code == 2
+    assert "error" in output
+
+
+def test_overhead_command_reports_slowdowns():
+    code, output = run_cli("overhead", "352.nab", "--threads", "2",
+                           "--scale", "0.4", "--repeats", "1",
+                           "--tools", "aprof-rms,aprof-trms")
+    assert code == 0
+    assert "native" in output and "aprof-trms" in output
+    assert "slowdown" in output
+
+
+def test_overhead_unknown_benchmark():
+    code, output = run_cli("overhead", "999.nothing")
+    assert code == 2
+    assert "error" in output
+
+
+def test_record_with_telemetry_counts_events(tmp_path):
+    from repro.telemetry import TelemetryRun
+
+    trace = tmp_path / "run.rpt2"
+    tele_dir = tmp_path / "tele"
+    code, output = run_cli("record", "358.botsalgn", str(trace),
+                           "--threads", "2", "--scale", "0.5",
+                           "--telemetry", str(tele_dir))
+    assert code == 0
+    run = TelemetryRun.load(str(tele_dir))
+    events = int(output.split("recorded ")[1].split(" events")[0])
+    assert run.counter_value("record.events") == events
+    assert run.spans_named("record")[0]["attrs"]["events"] == events

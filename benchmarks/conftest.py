@@ -117,13 +117,24 @@ _RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results
 RESULT_SCHEMA = "repro-bench/1"
 
 
+def results_dir() -> str:
+    """Where envelopes land: ``REPRO_BENCH_RESULTS`` or benchmarks/results/.
+
+    The override exists for the CI benchmark gate (``tools/bench_gate.py``),
+    which runs the benches into a scratch directory and diffs the fresh
+    envelopes against the committed baselines without touching
+    ``benchmarks/results/``.
+    """
+    return os.environ.get("REPRO_BENCH_RESULTS", _RESULTS_DIR)
+
+
 def _git_sha() -> "str | None":
     import subprocess
 
     try:
         return subprocess.run(
             ["git", "rev-parse", "HEAD"],
-            cwd=os.path.dirname(_RESULTS_DIR),
+            cwd=os.path.dirname(os.path.abspath(__file__)),
             capture_output=True, text=True, timeout=10, check=True,
         ).stdout.strip() or None
     except Exception:
@@ -138,7 +149,9 @@ def save_result(name: str, payload) -> str:
     The payload is wrapped in the shared ``repro-bench/1`` envelope —
     ``schema``/``run_id``/``git_sha``/``timestamp``/``bench``/``scale``
     around a ``metrics`` key — so result files from different sessions
-    and machines stay comparable.  Returns the path written.
+    and machines stay comparable.  A ``gate`` key inside the payload is
+    what ``tools/bench_gate.py`` compares against the committed
+    baselines.  Returns the path written.
     """
     import datetime
     import json
@@ -153,8 +166,9 @@ def save_result(name: str, payload) -> str:
         "scale": bench_scale(),
         "metrics": payload,
     }
-    os.makedirs(_RESULTS_DIR, exist_ok=True)
-    path = os.path.join(_RESULTS_DIR, f"{name}.json")
+    directory = results_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
     with open(path, "w") as stream:
         json.dump(envelope, stream, indent=2, default=str)
     return path

@@ -13,8 +13,9 @@ Commands:
   (chunked binary v2 by default, ``--format v1`` for the text format);
 * ``analyze <trace>`` — run the profilers over a recorded trace;
   ``--jobs N`` farms the TRMS analysis out to N worker processes
-  (exact: identical to the online profiler), ``--dump`` writes a
-  mergeable profile dump;
+  (exact: identical to the online profiler), ``--kernel`` picks the
+  flat-array or classic analysis kernel (bit-identical, see
+  ``docs/KERNEL.md``), ``--dump`` writes a mergeable profile dump;
 * ``merge -o out.profile a.profile b.profile …`` — associatively merge
   profile dumps of several shards or several independent runs into one
   richer profile;
@@ -112,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--context", action="store_true")
     analyze.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="farm the trms analysis out to N worker processes")
+    analyze.add_argument("--kernel", choices=["auto", "flat", "classic"],
+                         default="auto",
+                         help="trms analysis kernel: flat (columnar "
+                              "single-pass), classic (object-per-event "
+                              "replay), auto = flat (bit-identical either way)")
     analyze.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                          help="per-shard worker timeout (with --jobs)")
     analyze.add_argument("--dump", metavar="FILE",
@@ -265,15 +271,23 @@ def _cmd_analyze(args, out) -> int:
                 with open(args.trace) as stream:
                     replay(iter_trace(stream), consumer)
 
+    kernel = getattr(args, "kernel", "auto")
+    if kernel == "auto":
+        kernel = "flat"
+    # The flat kernel lives in the farm workers, so any non-classic trms
+    # analysis routes through the farm engine — with --jobs 1 that is a
+    # single inline shard, still bit-identical to the online replay.
+    farm_trms = args.jobs > 1 or kernel == "flat"
+
     databases = {}
     try:
-        if args.jobs > 1:
+        if farm_trms:
             from .farm import analyze_file
 
             if args.metric in ("trms", "both"):
                 result = analyze_file(
                     args.trace, jobs=args.jobs, context_sensitive=args.context,
-                    timeout=args.timeout, progress=out.write,
+                    timeout=args.timeout, progress=out.write, kernel=kernel,
                 )
                 databases["trms"] = result.db
                 if args.stats:
@@ -282,8 +296,9 @@ def _cmd_analyze(args, out) -> int:
                     out.write(render_farm_stats(result.stats))
                     out.write("\n")
             if args.metric in ("rms", "both"):
-                out.write("note: --jobs farms the trms analysis; "
-                          "rms runs sequentially\n")
+                if args.jobs > 1:
+                    out.write("note: --jobs farms the trms analysis; "
+                              "rms runs sequentially\n")
                 profiler = RmsProfiler(context_sensitive=args.context)
                 replay_trace(profiler, "rms")
                 databases["rms"] = profiler.db

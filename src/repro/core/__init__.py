@@ -31,14 +31,15 @@ from .metrics import (
     richness_by_routine,
     tail_curve,
 )
+from .flatkernel import FlatAnalyzer, analyze_columns_flat, analyze_events_flat
 from .naive import NaiveRms, NaiveTrms
 from .offline import WriteIndex, analyze_thread, analyze_trace, build_write_index, split_by_thread
 from .profile_data import ActivationRecord, ProfileDatabase, RoutineProfile, SizeStats
 from .profiler import BaseProfiler
 from .renumber import renumber_timestamps
 from .rms import RmsProfiler
-from .shadow import DictShadow, ShadowMemory
-from .stack import ShadowStack, StackEntry
+from .shadow import DictShadow, PackedLatestWrite, ShadowMemory
+from .stack import FlatStack, ShadowStack, StackEntry
 from .tracefile import TRACE_MAGIC, TraceWriter, iter_trace, read_trace, write_trace
 from .trms import KERNEL_WRITER, TrmsProfiler
 
@@ -67,6 +68,9 @@ __all__ = [
     "profile_richness",
     "richness_by_routine",
     "tail_curve",
+    "FlatAnalyzer",
+    "analyze_columns_flat",
+    "analyze_events_flat",
     "NaiveRms",
     "WriteIndex",
     "analyze_thread",
@@ -82,7 +86,9 @@ __all__ = [
     "renumber_timestamps",
     "RmsProfiler",
     "DictShadow",
+    "PackedLatestWrite",
     "ShadowMemory",
+    "FlatStack",
     "ShadowStack",
     "TRACE_MAGIC",
     "TraceWriter",

@@ -23,9 +23,11 @@ every pending ancestor).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from array import array
+from bisect import bisect_right
+from typing import List, Optional, Tuple
 
-__all__ = ["StackEntry", "ShadowStack"]
+__all__ = ["StackEntry", "ShadowStack", "FlatStack"]
 
 
 class StackEntry:
@@ -115,3 +117,66 @@ class ShadowStack:
         itself never needs the explicit sum.
         """
         return sum(entry.partial for entry in self.entries[index:])
+
+
+class FlatStack:
+    """Struct-of-arrays shadow stack: six parallel i64 columns.
+
+    Semantically identical to :class:`ShadowStack`, but one pending
+    activation is a *row index* into preallocated-growth ``array('q')``
+    columns instead of a heap-allocated :class:`StackEntry`.  The flat
+    analysis kernel binds the columns to local variables and mutates
+    them in place, so the hot path performs no attribute lookups and
+    allocates no per-activation objects; routine identity is an interned
+    integer id, resolved to a name only when the activation completes.
+
+    The paper's binary search (deepest pending activation whose
+    timestamp does not exceed a given value) becomes a ``bisect_right``
+    over the timestamp column — the column is sorted by construction,
+    exactly like ``StackEntry.ts`` bottom-to-top.
+    """
+
+    __slots__ = ("rtn", "ts", "cost", "partial", "induced_thread", "induced_external")
+
+    def __init__(self) -> None:
+        self.rtn = array("q")               #: interned routine ids
+        self.ts = array("q")                #: activation timestamps (sorted)
+        self.cost = array("q")              #: thread-cost snapshots at entry
+        self.partial = array("q")           #: partial (t)rms per Invariant 2
+        self.induced_thread = array("q")    #: thread-induced partial tallies
+        self.induced_external = array("q")  #: external-induced partial tallies
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def __bool__(self) -> bool:
+        return bool(self.ts)
+
+    def push(self, rtn_id: int, ts: int, cost: int) -> None:
+        self.rtn.append(rtn_id)
+        self.ts.append(ts)
+        self.cost.append(cost)
+        self.partial.append(0)
+        self.induced_thread.append(0)
+        self.induced_external.append(0)
+
+    def pop(self) -> Tuple[int, int, int, int, int, int]:
+        """Pop the top row: ``(rtn_id, ts, cost, partial, ind_thread, ind_ext)``."""
+        return (
+            self.rtn.pop(), self.ts.pop(), self.cost.pop(),
+            self.partial.pop(), self.induced_thread.pop(),
+            self.induced_external.pop(),
+        )
+
+    def find_latest_not_after(self, ts_value: int) -> int:
+        """Row index of the deepest activation with ``ts <= ts_value``.
+
+        Returns -1 when every pending activation started after
+        ``ts_value`` — the flat analogue of
+        :meth:`ShadowStack.find_latest_not_after` returning None.
+        """
+        return bisect_right(self.ts, ts_value) - 1
+
+    def suffix_partial_sum(self, index: int) -> int:
+        """Invariant 2 helper, mirroring :meth:`ShadowStack.suffix_partial_sum`."""
+        return sum(self.partial[index:])

@@ -96,6 +96,7 @@ class FarmStats(NamedTuple):
     wall_seconds: float
     event_count: int     #: events in the trace (not per-shard decode work)
     metrics: Optional[List[Dict]] = None   #: farm registry snapshot
+    kernel: str = "classic"   #: analysis kernel the workers ran
 
 
 class FarmResult(NamedTuple):
@@ -319,14 +320,26 @@ def analyze_file(
     progress: Optional[Callable[[str], None]] = None,
     faults: Optional[Dict[int, Tuple]] = None,
     heartbeat_events: int = DEFAULT_HEARTBEAT_EVENTS,
+    kernel: str = "auto",
 ) -> FarmResult:
     """Analyse a recorded trace (v1 or v2) with the farm; exact by contract.
+
+    ``kernel`` selects the per-worker analysis implementation:
+    ``"flat"`` (the columnar single-pass kernel of
+    :mod:`repro.core.flatkernel`), ``"classic"`` (the two-pass
+    object-per-event machinery), or ``"auto"`` (the default — resolves
+    to ``"flat"``).  Both kernels are bit-identical by contract; the
+    differential tests run every benchmark through both.
 
     ``faults`` maps shard ids to :class:`~repro.farm.worker.ShardTask`
     fault specs — test hooks for the retry and fallback paths; inline
     (fallback) execution always strips faults, so an injected fault can
     delay but never corrupt the result.
     """
+    if kernel not in ("auto", "flat", "classic"):
+        raise ValueError(f"unknown analysis kernel {kernel!r}")
+    if kernel == "auto":
+        kernel = "flat"
     started = time.perf_counter()
     tele = telemetry.current()
     farm_metrics = MetricsRegistry()
@@ -370,6 +383,7 @@ def analyze_file(
                 heartbeat_path=os.path.join(
                     heartbeat_dir, f"shard-{shard.shard_id}.jsonl"),
                 heartbeat_events=heartbeat_events,
+                kernel=kernel,
             )
             for shard in plan.shards
         ]
@@ -424,6 +438,7 @@ def analyze_file(
             where = "pool" if result.pid != os.getpid() else "inline"
             beat = watcher.summary(task.shard_id)
             bump("farm.shard.events", result.events_decoded, shard=task.shard_id)
+            bump("farm.kernel.events", result.events_decoded, kernel=result.kernel)
             farm_metrics.histogram("farm.shard_ms").observe(result.seconds * 1000)
             tele.histogram("farm.shard_ms").observe(result.seconds * 1000)
             outcomes.append(ShardOutcome(
@@ -444,7 +459,7 @@ def analyze_file(
         stats = FarmStats(
             plan.strategy, jobs, outcomes, retried, fallbacks, pool_failures,
             time.perf_counter() - started, meta.event_count,
-            metrics=farm_metrics.snapshot(),
+            metrics=farm_metrics.snapshot(), kernel=kernel,
         )
         return FarmResult(merged, stats)
     finally:

@@ -32,9 +32,10 @@ import time
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..core.events import Event, EventKind
+from ..core.flatkernel import FlatAnalyzer
 from ..core.offline import WriteIndex, analyze_thread
 from ..core.profile_data import ProfileDatabase
-from .binfmt import decode_chunk, read_trace_meta
+from .binfmt import decode_chunk, decode_chunk_columns, read_trace_meta
 
 try:
     import resource as _resource
@@ -64,6 +65,8 @@ class ShardTask(NamedTuple):
     #: JSONL file this worker appends heartbeat/span records to
     heartbeat_path: Optional[str] = None
     heartbeat_events: int = DEFAULT_HEARTBEAT_EVENTS
+    #: analysis kernel: "flat" (columnar single-pass) or "classic"
+    kernel: str = "flat"
 
 
 class WorkerResult(NamedTuple):
@@ -76,6 +79,7 @@ class WorkerResult(NamedTuple):
     analyze_seconds: float = 0.0
     max_rss_kb: int = 0
     heartbeats: int = 0
+    kernel: str = "classic"
 
 
 def _max_rss_kb() -> int:
@@ -151,8 +155,9 @@ def _inject_fault(fault: Optional[Tuple]) -> None:
         raise ValueError(f"unknown fault {fault!r}")
 
 
-def run_shard(task: ShardTask) -> WorkerResult:
-    """Decode the shard's chunks, analyse its threads, return the profiles.
+def _run_classic(task: ShardTask, stream, meta, heart: _Heart,
+                 beat_every: int) -> Tuple[ProfileDatabase, int, float]:
+    """The original two-pass machinery: decode to Events, bucket, replay.
 
     One pass over the chunk subset feeds two structures: the local
     write index (every write in a decoded chunk, any thread) and the
@@ -162,55 +167,102 @@ def run_shard(task: ShardTask) -> WorkerResult:
     position space intact and the induced-first-access binary search
     behaves exactly as it would over the full trace.
     """
-    _inject_fault(task.fault)
-    started = time.perf_counter()
-    cpu0 = time.process_time()
-    heart = _Heart(task, started)
-    heart.beat("decode", 0)
-    beat_every = max(1, task.heartbeat_events)
     mine = frozenset(task.threads)
     index = WriteIndex()
     buckets: Dict[int, List[Tuple[int, Event]]] = {thread: [] for thread in task.threads}
     decoded = 0
+    decode_started = time.perf_counter()
 
-    with open(task.trace_path, "rb") as stream:
-        meta = read_trace_meta(stream)
-        for chunk_index in task.chunk_indices:
-            chunk = meta.chunks[chunk_index]
-            for position, event in decode_chunk(stream, chunk, meta.names):
-                decoded += 1
-                if decoded % beat_every == 0:
-                    heart.beat("decode", decoded)
-                kind = event.kind
-                if kind == EventKind.WRITE:
-                    index.add(event.arg, position, event.thread)
-                    if event.thread in mine:
-                        buckets[event.thread].append((position, event))
-                elif kind == EventKind.KERNEL_WRITE:
-                    index.add(event.arg, position, _KERNEL)
-                elif kind != EventKind.THREAD_SWITCH and event.thread in mine:
+    for chunk_index in task.chunk_indices:
+        chunk = meta.chunks[chunk_index]
+        for position, event in decode_chunk(stream, chunk, meta.names):
+            decoded += 1
+            if decoded % beat_every == 0:
+                heart.beat("decode", decoded)
+            kind = event.kind
+            if kind == EventKind.WRITE:
+                index.add(event.arg, position, event.thread)
+                if event.thread in mine:
                     buckets[event.thread].append((position, event))
+            elif kind == EventKind.KERNEL_WRITE:
+                index.add(event.arg, position, _KERNEL)
+            elif kind != EventKind.THREAD_SWITCH and event.thread in mine:
+                buckets[event.thread].append((position, event))
 
-    decode_seconds = time.perf_counter() - started
-    decode_cpu = time.process_time() - cpu0
-    heart.span("worker.decode", decode_seconds, decode_cpu,
-               events=decoded, chunks=len(task.chunk_indices))
+    decode_seconds = time.perf_counter() - decode_started
     heart.beat("analyze", decoded)
-
-    analyze_started = time.perf_counter()
-    analyze_cpu0 = time.process_time()
     db = ProfileDatabase(keep_activations=task.keep_activations)
     for thread in task.threads:
         analyze_thread(buckets[thread], thread, index, db,
                        context_sensitive=task.context_sensitive)
         heart.beat("analyze", decoded)
-    analyze_seconds = time.perf_counter() - analyze_started
+    return db, decoded, decode_seconds
+
+
+def _run_flat(task: ShardTask, stream, meta, heart: _Heart,
+              beat_every: int) -> Tuple[ProfileDatabase, int, float]:
+    """The flat-array kernel: columnar decode + single interleaved pass.
+
+    Chunks are decoded whole into :class:`~repro.farm.binfmt.ChunkColumns`
+    and fed, in trace order, to one
+    :class:`~repro.core.flatkernel.FlatAnalyzer` covering all assigned
+    threads — decode and analysis interleave per chunk (there is no
+    separate bucketing pass), so ``decode_seconds`` here is purely the
+    columnar batch decode.
+    """
+    db = ProfileDatabase(keep_activations=task.keep_activations)
+    analyzer = FlatAnalyzer(task.threads, meta.names, db,
+                            context_sensitive=task.context_sensitive)
+    decoded = 0
+    decode_seconds = 0.0
+    next_beat = beat_every
+    for chunk_index in sorted(task.chunk_indices):
+        chunk = meta.chunks[chunk_index]
+        decode_started = time.perf_counter()
+        columns = decode_chunk_columns(stream, chunk)
+        decode_seconds += time.perf_counter() - decode_started
+        analyzer.feed(columns)
+        decoded += columns.events
+        if decoded >= next_beat:
+            heart.beat("analyze", decoded)
+            next_beat = decoded + beat_every
+    analyzer.finish()
+    return db, decoded, decode_seconds
+
+
+def run_shard(task: ShardTask) -> WorkerResult:
+    """Decode the shard's chunks, analyse its threads, return the profiles.
+
+    ``task.kernel`` selects the hot path: ``"flat"`` (default — the
+    columnar single-pass kernel) or ``"classic"`` (the two-pass
+    object-per-event machinery).  Both produce bit-identical profiles;
+    the differential tests compare them against each other and against
+    the online profiler.
+    """
+    _inject_fault(task.fault)
+    if task.kernel not in ("flat", "classic"):
+        raise ValueError(f"unknown analysis kernel {task.kernel!r}")
+    started = time.perf_counter()
+    cpu0 = time.process_time()
+    heart = _Heart(task, started)
+    heart.beat("decode", 0)
+    beat_every = max(1, task.heartbeat_events)
+
+    with open(task.trace_path, "rb") as stream:
+        meta = read_trace_meta(stream)
+        runner = _run_flat if task.kernel == "flat" else _run_classic
+        db, decoded, decode_seconds = runner(task, stream, meta, heart, beat_every)
+
+    seconds = time.perf_counter() - started
+    cpu_seconds = time.process_time() - cpu0
+    analyze_seconds = max(0.0, seconds - decode_seconds)
+    heart.span("worker.decode", decode_seconds, min(decode_seconds, cpu_seconds),
+               events=decoded, chunks=len(task.chunk_indices), kernel=task.kernel)
     heart.span("worker.analyze", analyze_seconds,
-               time.process_time() - analyze_cpu0,
-               threads=len(task.threads))
+               max(0.0, cpu_seconds - decode_seconds),
+               threads=len(task.threads), kernel=task.kernel)
     heart.beat("done", decoded)
     heart.close()
-    return WorkerResult(task.shard_id, db, decoded,
-                        time.perf_counter() - started, os.getpid(),
+    return WorkerResult(task.shard_id, db, decoded, seconds, os.getpid(),
                         decode_seconds, analyze_seconds, _max_rss_kb(),
-                        heart.beats)
+                        heart.beats, task.kernel)

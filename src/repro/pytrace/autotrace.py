@@ -43,6 +43,18 @@ _EXCLUDED_PREFIXES = tuple(
 _EXCLUDED_PARTS = ("site-packages", "dist-packages")
 
 
+def _thread_profile_hook():
+    """The profile hook future threads would start with, if any.
+
+    ``threading.getprofile`` arrived in 3.10; older interpreters keep
+    the hook in ``threading._profile_hook``.
+    """
+    getter = getattr(threading, "getprofile", None)
+    if getter is not None:
+        return getter()
+    return getattr(threading, "_profile_hook", None)  # pragma: no cover - 3.9
+
+
 def default_include(code) -> bool:
     """Default frame filter: application code only.
 
@@ -73,6 +85,7 @@ class AutoTracer:
         self.include = include or default_include
         self._stacks = threading.local()
         self._previous_profile = None
+        self._previous_thread_profile = None
 
     # -- hook plumbing ---------------------------------------------------------
 
@@ -99,13 +112,17 @@ class AutoTracer:
 
     def __enter__(self) -> "AutoTracer":
         self._previous_profile = sys.getprofile()
+        self._previous_thread_profile = _thread_profile_hook()
         threading.setprofile(self._hook)
         sys.setprofile(self._hook)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # restore both hooks symmetrically: clobbering the threading
+        # hook with None would silently unhook an enclosing tracer (or
+        # any other profiler) for every thread started afterwards
         sys.setprofile(self._previous_profile)
-        threading.setprofile(None)
+        threading.setprofile(self._previous_thread_profile)
         # unwind anything the hook opened and never saw return
         stack = getattr(self._stacks, "frames", None)
         while stack:

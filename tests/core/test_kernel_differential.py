@@ -1,0 +1,101 @@
+"""Differential property tests: flat-array kernel vs classic vs online.
+
+The flat kernel (:mod:`repro.core.flatkernel`) re-implements the offline
+TRMS hot loop over columnar event batches — packed latest-write shadow,
+flat array stacks, single interleaved pass.  Its contract is *bit
+identity*: on any trace hypothesis can dream up, it must produce exactly
+the database of the classic two-pass machinery and of the online
+:class:`~repro.core.trms.TrmsProfiler` — including under timestamp
+renumbering (Section 4.4), context sensitivity, and sharded thread
+assignments.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProfileDatabase, TrmsProfiler, analyze_trace, replay
+from repro.core.flatkernel import FlatAnalyzer, analyze_events_flat
+
+from .util import THREADS, db_snapshot, events_strategy
+
+
+@settings(max_examples=200, deadline=None)
+@given(events_strategy())
+def test_flat_kernel_matches_classic_offline(events):
+    flat = analyze_trace(events, keep_activations=True, kernel="flat")
+    classic = analyze_trace(events, keep_activations=True, kernel="classic")
+    assert db_snapshot(flat) == db_snapshot(classic)
+
+
+@settings(max_examples=150, deadline=None)
+@given(events_strategy())
+def test_flat_kernel_matches_online_profiler(events):
+    flat = analyze_trace(events, keep_activations=True, kernel="flat")
+    online = TrmsProfiler(keep_activations=True)
+    replay(events, online)
+    assert db_snapshot(flat) == db_snapshot(online.db)
+
+
+@settings(max_examples=120, deadline=None)
+@given(events_strategy())
+def test_flat_kernel_matches_online_under_renumbering(events):
+    """The online profiler under a tiny counter bound renumbers its
+    timestamps constantly (Section 4.4); the flat kernel uses unbounded
+    trace positions and must still land on the identical profiles —
+    the counter-overflow edge cases cancel out or neither is exact."""
+    flat = analyze_trace(events, keep_activations=True, kernel="flat")
+    online = TrmsProfiler(keep_activations=True, max_count=40)
+    replay(events, online)
+    assert db_snapshot(flat) == db_snapshot(online.db)
+
+
+@settings(max_examples=120, deadline=None)
+@given(events_strategy())
+def test_flat_kernel_context_sensitive_matches_classic(events):
+    flat = analyze_trace(events, keep_activations=True, kernel="flat",
+                         context_sensitive=True)
+    classic = analyze_trace(events, keep_activations=True, kernel="classic",
+                            context_sensitive=True)
+    assert db_snapshot(flat) == db_snapshot(classic)
+
+
+@settings(max_examples=100, deadline=None)
+@given(events_strategy())
+def test_flat_kernel_dumps_are_byte_identical(events):
+    """The CI gate compares SHA-256 of profile dumps, so equality has to
+    hold at the *byte* level of ``save_profile``, not just structurally."""
+    from repro.farm import save_profile
+
+    flat_dump = io.StringIO()
+    classic_dump = io.StringIO()
+    save_profile(analyze_trace(events, kernel="flat"), flat_dump)
+    save_profile(analyze_trace(events, kernel="classic"), classic_dump)
+    assert flat_dump.getvalue() == classic_dump.getvalue()
+
+
+@settings(max_examples=100, deadline=None)
+@given(events_strategy(), st.integers(min_value=1, max_value=len(THREADS)))
+def test_flat_kernel_sharded_threads_merge_to_whole(events, split):
+    """Analysing disjoint thread subsets with separate FlatAnalyzers
+    (the farm's sharding) and merging must equal the whole-trace run —
+    foreign threads contribute exactly their writes, nothing else."""
+    from repro.farm import merge_databases
+    from repro.farm.binfmt import columns_from_events
+
+    whole = ProfileDatabase(keep_activations=True)
+    analyze_events_flat(events, whole)
+
+    threads_seen = sorted({event.thread for event in events})
+    shards = [threads_seen[:split], threads_seen[split:]]
+    columns, names = columns_from_events(events)
+    partials = []
+    for shard_threads in shards:
+        db = ProfileDatabase(keep_activations=True)
+        analyzer = FlatAnalyzer(shard_threads, names, db)
+        analyzer.feed(columns)
+        analyzer.finish()
+        partials.append(db)
+    merged = merge_databases(partials, keep_activations=True)
+    assert db_snapshot(merged) == db_snapshot(whole)

@@ -1,16 +1,26 @@
 """Differential tests: the farm's contract is bit-exactness.
 
-Farm-analysed profiles (any shard plan, in-process or multiprocess)
-must equal the online ``TrmsProfiler`` on every registered workload
-suite, and merged per-run profiles must equal the merge of the online
-results.
+Farm-analysed profiles (any shard plan, in-process or multiprocess,
+either analysis kernel) must equal the online ``TrmsProfiler`` on every
+registered workload suite, the flat and classic kernels must dump
+byte-identically, and merged per-run profiles must equal the merge of
+the online results.
 """
+
+import io
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.farm import analyze_events, analyze_file, merge_databases, plan_shards, read_trace_meta
+from repro.farm import (
+    analyze_events,
+    analyze_file,
+    merge_databases,
+    plan_shards,
+    read_trace_meta,
+    save_profile,
+)
 from repro.workloads import all_benchmarks
 
 from ..core.util import events_strategy
@@ -20,21 +30,41 @@ ALL_NAMES = [bench.name for bench in all_benchmarks()]
 #: one entry per kernel family, both suites — the multiprocess subset
 POOLED_NAMES = ["350.md", "367.imagick", "376.kdtree", "dedup", "canneal", "vips"]
 
+KERNELS = ("flat", "classic")
 
+
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("name", ALL_NAMES)
-def test_farm_equals_online_on_every_benchmark(name, tmp_path):
+def test_farm_equals_online_on_every_benchmark(name, kernel, tmp_path):
     """In-process farm (full shard/decode/merge machinery) vs online."""
     path = tmp_path / f"{name}.rpt2"
     events = record_benchmark_v2(name, path, threads=4, scale=0.4)
-    result = analyze_file(str(path), jobs=1, keep_activations=True)
+    result = analyze_file(str(path), jobs=1, keep_activations=True, kernel=kernel)
     assert comparable(result.db) == comparable(online_db(events))
+    assert result.stats.kernel == kernel
 
 
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_kernel_dumps_byte_identical_on_every_benchmark(name, tmp_path):
+    """The flat and classic kernels must agree to the *byte* in their
+    profile dumps — the equality the CI gate re-checks via SHA-256."""
+    path = tmp_path / f"{name}.rpt2"
+    record_benchmark_v2(name, path, threads=4, scale=0.4)
+    dumps = {}
+    for kernel in KERNELS:
+        result = analyze_file(str(path), jobs=1, kernel=kernel)
+        stream = io.StringIO()
+        save_profile(result.db, stream)
+        dumps[kernel] = stream.getvalue()
+    assert dumps["flat"] == dumps["classic"]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("name", POOLED_NAMES)
-def test_multiprocess_farm_equals_online(name, tmp_path):
+def test_multiprocess_farm_equals_online(name, kernel, tmp_path):
     path = tmp_path / f"{name}.rpt2"
     events = record_benchmark_v2(name, path, threads=6, scale=0.5)
-    result = analyze_file(str(path), jobs=3, keep_activations=True)
+    result = analyze_file(str(path), jobs=3, keep_activations=True, kernel=kernel)
     assert comparable(result.db) == comparable(online_db(events))
     # every shard really ran on the pool, no silent degradation
     assert all(outcome.where == "pool" for outcome in result.stats.outcomes)
@@ -74,10 +104,11 @@ def test_skewed_plan_is_exact(tmp_path):
 
 
 @settings(max_examples=60, deadline=None)
-@given(events_strategy(max_ops=100), st.sampled_from([4, 64]))
-def test_farm_equals_online_on_arbitrary_streams(events, chunk_events):
+@given(events_strategy(max_ops=100), st.sampled_from([4, 64]),
+       st.sampled_from(KERNELS))
+def test_farm_equals_online_on_arbitrary_streams(events, chunk_events, kernel):
     result = analyze_events(events, jobs=1, chunk_events=chunk_events,
-                            keep_activations=True)
+                            keep_activations=True, kernel=kernel)
     assert comparable(result.db) == comparable(online_db(events))
 
 

@@ -133,3 +133,62 @@ def test_threads_spawned_inside_block_are_traced():
     records = [a for a in trms.db.activations if a.routine == "worker"]
     assert len(records) == 1
     assert records[0].induced_thread == 1   # main wrote, the worker read
+
+
+def test_exit_restores_preexisting_threading_hook():
+    """Regression: __exit__ used to clobber the threading-wide profile
+    hook with None, silently unhooking any enclosing tracer (or other
+    profiler) for threads started after the block."""
+    import threading
+
+    seen = []
+
+    def outer_hook(frame, event, arg):
+        seen.append(event)
+
+    threading.setprofile(outer_hook)
+    try:
+        session, _ = make_session()
+        with session:
+            array = session.array(2, fill=1)
+            with AutoTracer(session):
+                caller(array)
+        # the pre-existing hook is back for threads spawned afterwards
+        getter = getattr(threading, "getprofile", None)
+        current = getter() if getter else threading._profile_hook
+        assert current is outer_hook
+        thread = threading.Thread(target=leaf, args=([1, 2],))
+        thread.start()
+        thread.join()
+        assert seen   # the outer hook really fired in the new thread
+    finally:
+        threading.setprofile(None)
+
+
+def test_nested_autotracers_restore_each_other():
+    """Two stacked AutoTracers: the inner block must hand the threading
+    hook back to the outer tracer, not tear it down."""
+    outer_trms = TrmsProfiler(keep_activations=True)
+    outer_session = TraceSession(tools=EventBus([outer_trms]))
+
+    def worker(shared):
+        return shared[0]
+
+    with outer_session:
+        shared = outer_session.array(1)
+        shared[0] = 3
+        with AutoTracer(outer_session):
+            inner_session, inner_profiler = make_session()
+            with inner_session:
+                inner_array = inner_session.array(2, fill=1)
+                with AutoTracer(inner_session):
+                    caller(inner_array)
+            # after the inner block, the outer tracer still hooks new
+            # threads — before the fix this thread went untraced
+            thread = spawn(worker, shared)
+            thread.join()
+    inner_routines = {a.routine for a in inner_profiler.db.activations}
+    assert "caller" in inner_routines and "leaf" in inner_routines
+    outer_workers = [a for a in outer_trms.db.activations if a.routine == "worker"]
+    assert len(outer_workers) == 1
+    assert outer_workers[0].induced_thread == 1

@@ -1,0 +1,6 @@
+"""Repository tooling that is not part of the ``repro`` package.
+
+``python -m tools.bench_gate`` — the CI benchmark-regression gate; see
+``docs/KERNEL.md`` for the workflow and ``benchmarks/baselines/`` for
+the committed reference envelopes.
+"""

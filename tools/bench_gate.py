@@ -1,0 +1,260 @@
+"""Benchmark-regression gate: diff fresh bench envelopes against baselines.
+
+The gated benches (``benchmarks/bench_kernel_throughput.py``,
+``benchmarks/bench_farm_speedup.py``) write ``repro-bench/1`` envelopes
+whose payload carries a ``gate`` section::
+
+    "gate": {
+        "scale":          <REPRO_BENCH_SCALE the numbers were taken at>,
+        "ratios":         {name: value},   # machine-portable (e.g. flat/classic
+                                           # speedup) — gated by --tolerance
+        "throughput":     {name: value},   # absolute events/s — informational
+                                           # unless --absolute is given
+        "profile_sha256": {name: digest},  # profile-dump hashes — must match
+    }
+
+This module compares the envelopes in the results directory against the
+committed ``benchmarks/baselines/*.json`` and fails (exit 1) when
+
+* a ``profile_sha256`` digest differs — the analysis *output* changed,
+  which no performance work is ever allowed to do; or
+* a ratio metric regressed by more than ``--tolerance`` (default 25%) —
+  e.g. the flat kernel's speedup over classic dropped, the symptom of a
+  slowdown in the hot loop that a ratio measures free of machine speed;
+* with ``--absolute``: an absolute throughput metric regressed likewise
+  (off by default — absolute events/s are not comparable across
+  machines, so CI gates on ratios and hashes only).
+
+Typical uses::
+
+    python -m tools.bench_gate --run            # CI: bench + compare
+    python -m tools.bench_gate                  # compare existing results
+    python -m tools.bench_gate --run --rebaseline   # accept new numbers
+
+``--rebaseline`` copies the fresh envelopes into the baselines
+directory; commit the diff with a justification of the change (see
+docs/KERNEL.md).  Benches run at ``--scale`` (default 0.5) so the gate
+stays fast; baselines must be recorded at the same scale — the gate
+refuses to compare envelopes whose gate scales differ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from typing import Dict, List, Optional
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: the bench files whose envelopes carry a ``gate`` section
+GATED_BENCHES = (
+    os.path.join("benchmarks", "bench_kernel_throughput.py"),
+    os.path.join("benchmarks", "bench_farm_speedup.py"),
+)
+
+BASELINES_DIR = os.path.join(_ROOT, "benchmarks", "baselines")
+
+#: REPRO_BENCH_SCALE the gate runs at — big enough that per-round
+#: kernel times sit above timer/scheduler noise, small enough that the
+#: gate stays a seconds-scale CI job
+GATE_SCALE = 1.0
+
+
+class GateFailure(Exception):
+    """One comparison violated the gate."""
+
+
+def load_envelope(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as stream:
+        envelope = json.load(stream)
+    if envelope.get("schema") != "repro-bench/1":
+        raise GateFailure(f"{path}: not a repro-bench/1 envelope")
+    return envelope
+
+
+def gate_section(envelope: Dict, path: str) -> Dict:
+    gate = (envelope.get("metrics") or {}).get("gate")
+    if not isinstance(gate, dict):
+        raise GateFailure(f"{path}: envelope has no gate section")
+    return gate
+
+
+def run_benches(results_dir: str, scale: float, out=sys.stdout) -> None:
+    """Run the gated benches into ``results_dir`` at ``scale``."""
+    env = dict(os.environ)
+    env["REPRO_BENCH_RESULTS"] = results_dir
+    env["REPRO_BENCH_SCALE"] = str(scale)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(_ROOT, "src"), env.get("PYTHONPATH")) if p)
+    command = [sys.executable, "-m", "pytest", *GATED_BENCHES,
+               "-q", "--benchmark-disable", "-p", "no:cacheprovider"]
+    out.write(f"bench-gate: running {' '.join(GATED_BENCHES)} "
+              f"at scale {scale}\n")
+    completed = subprocess.run(command, cwd=_ROOT, env=env)
+    if completed.returncode != 0:
+        raise GateFailure(
+            f"benchmark run failed (pytest exit {completed.returncode})")
+
+
+def compare_envelopes(
+    baseline: Dict, fresh: Dict, name: str, tolerance: float,
+    absolute: bool = False,
+) -> List[str]:
+    """Return the list of violations of ``fresh`` against ``baseline``."""
+    problems: List[str] = []
+    base_gate = gate_section(baseline, f"baseline {name}")
+    new_gate = gate_section(fresh, f"result {name}")
+
+    if base_gate.get("scale") != new_gate.get("scale"):
+        problems.append(
+            f"{name}: gate scales differ (baseline {base_gate.get('scale')} "
+            f"vs result {new_gate.get('scale')}) — rerun or --rebaseline "
+            f"at a matching REPRO_BENCH_SCALE")
+        return problems
+
+    for key, digest in (base_gate.get("profile_sha256") or {}).items():
+        fresh_digest = (new_gate.get("profile_sha256") or {}).get(key)
+        if fresh_digest != digest:
+            problems.append(
+                f"{name}: profile hash mismatch for {key!r} — the analysis "
+                f"output changed ({digest[:12]}… -> "
+                f"{str(fresh_digest)[:12]}…)")
+
+    sections = [("ratios", base_gate.get("ratios") or {})]
+    if absolute:
+        sections.append(("throughput", base_gate.get("throughput") or {}))
+    for section, metrics in sections:
+        for key, old in metrics.items():
+            new = (new_gate.get(section) or {}).get(key)
+            if new is None:
+                problems.append(f"{name}: metric {section}.{key} missing "
+                                f"from the fresh envelope")
+                continue
+            if not isinstance(old, (int, float)) or old <= 0:
+                continue
+            if new < old * (1.0 - tolerance):
+                problems.append(
+                    f"{name}: {section}.{key} regressed "
+                    f"{(1 - new / old) * 100:.1f}% "
+                    f"({old} -> {new}, tolerance {tolerance * 100:.0f}%)")
+    return problems
+
+
+def run_gate(
+    results_dir: str,
+    baselines_dir: str = BASELINES_DIR,
+    tolerance: float = 0.25,
+    absolute: bool = False,
+    rebaseline: bool = False,
+    out=sys.stdout,
+) -> int:
+    """Compare every baseline against its fresh envelope; 0 iff clean."""
+    try:
+        baseline_names = sorted(
+            name for name in os.listdir(baselines_dir) if name.endswith(".json"))
+    except OSError:
+        baseline_names = []
+    if rebaseline:
+        os.makedirs(baselines_dir, exist_ok=True)
+        rebaselined = 0
+        for name in sorted(os.listdir(results_dir)):
+            if not name.endswith(".json"):
+                continue
+            envelope = load_envelope(os.path.join(results_dir, name))
+            # only envelopes that carry a gate section become baselines
+            if not isinstance((envelope.get("metrics") or {}).get("gate"), dict):
+                continue
+            shutil.copyfile(os.path.join(results_dir, name),
+                            os.path.join(baselines_dir, name))
+            out.write(f"bench-gate: rebaselined {name}\n")
+            rebaselined += 1
+        if not rebaselined:
+            out.write(f"bench-gate: nothing to rebaseline in {results_dir}\n")
+            return 1
+        return 0
+    if not baseline_names:
+        out.write(f"bench-gate: no baselines under {baselines_dir}; "
+                  f"run with --rebaseline to create them\n")
+        return 1
+
+    problems: List[str] = []
+    for name in baseline_names:
+        baseline = load_envelope(os.path.join(baselines_dir, name))
+        fresh_path = os.path.join(results_dir, name)
+        if not os.path.exists(fresh_path):
+            problems.append(f"{name}: no fresh envelope in {results_dir} "
+                            f"(did the bench run?)")
+            continue
+        fresh = load_envelope(fresh_path)
+        found = compare_envelopes(baseline, fresh, name, tolerance, absolute)
+        if found:
+            problems.extend(found)
+        else:
+            out.write(f"bench-gate: {name} OK\n")
+    if problems:
+        for problem in problems:
+            out.write(f"bench-gate: FAIL: {problem}\n")
+        out.write(f"bench-gate: {len(problems)} violation(s); to accept "
+                  f"intentional changes run `python -m tools.bench_gate "
+                  f"--run --rebaseline` and commit the baselines diff\n")
+        return 1
+    out.write("bench-gate: all baselines hold\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.bench_gate",
+        description="benchmark-regression gate over repro-bench/1 envelopes",
+    )
+    parser.add_argument("--run", action="store_true",
+                        help="run the gated benches first (into a scratch "
+                             "results directory)")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="copy fresh envelopes into the baselines "
+                             "directory instead of comparing")
+    parser.add_argument("--tolerance", type=float, default=0.25, metavar="T",
+                        help="allowed fractional regression of gated "
+                             "metrics (default 0.25)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also gate absolute throughput numbers "
+                             "(same-machine comparisons only)")
+    parser.add_argument("--scale", type=float, default=GATE_SCALE,
+                        help=f"REPRO_BENCH_SCALE for --run "
+                             f"(default {GATE_SCALE}; must match baselines)")
+    parser.add_argument("--results", metavar="DIR", default=None,
+                        help="envelope directory to compare "
+                             "(default: scratch dir with --run, else "
+                             "benchmarks/results/)")
+    parser.add_argument("--baselines", metavar="DIR", default=BASELINES_DIR,
+                        help="baseline directory (default benchmarks/baselines/)")
+    args = parser.parse_args(argv)
+
+    scratch = None
+    results_dir = args.results
+    if results_dir is None:
+        if args.run:
+            scratch = tempfile.mkdtemp(prefix="repro-bench-gate-")
+            results_dir = scratch
+        else:
+            results_dir = os.path.join(_ROOT, "benchmarks", "results")
+    try:
+        if args.run:
+            run_benches(results_dir, args.scale)
+        return run_gate(results_dir, args.baselines, args.tolerance,
+                        args.absolute, args.rebaseline)
+    except GateFailure as failure:
+        sys.stdout.write(f"bench-gate: FAIL: {failure}\n")
+        return 1
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

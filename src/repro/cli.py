@@ -24,7 +24,13 @@ Commands:
   report from telemetry data alone;
 * ``stats <run>`` — render the dashboard of a recorded telemetry run
   (span tree, worker heartbeats, metrics, overhead table), optionally
-  as a self-contained HTML file.
+  as a self-contained HTML file;
+* ``diff <old> <new>`` — classify per-routine asymptotic regressions
+  between two profile dumps (``regressed``/``slower``/… — the cost-
+  function diff of ``reporting.diffing``);
+* ``observe {ingest,report,alerts,gc}`` — the profile observatory: a
+  persistent history store over many runs, growth-rate drift alerts
+  and fleet dashboards (see ``docs/OBSERVATORY.md``).
 
 Every pipeline command accepts ``--telemetry DIR``: spans, heartbeats
 and metrics of that invocation land in ``DIR/telemetry.jsonl`` for
@@ -155,6 +161,70 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("run", help="run directory or telemetry.jsonl file")
     stats.add_argument("--html", metavar="FILE",
                        help="also write the dashboard as one HTML file")
+
+    diff = commands.add_parser(
+        "diff", help="asymptotic regressions between two profile dumps"
+    )
+    diff.add_argument("old", help="baseline profile dump (or TSV point dump)")
+    diff.add_argument("new", help="candidate profile dump (or TSV point dump)")
+    diff.add_argument("--min-points", type=int, default=4, metavar="N",
+                      help="distinct plot points a growth fit needs (default 4)")
+    diff.add_argument("--tolerance", type=float, default=1.30, metavar="T",
+                      help="same-class cost ratio counted as slower/faster "
+                           "(default 1.30)")
+    diff.add_argument("--fail-on", metavar="V[,V…]", default=None,
+                      help="exit 1 when any listed verdict appears "
+                           "(e.g. regressed,slower)")
+
+    observe = commands.add_parser(
+        "observe",
+        help="profile observatory: run history, drift alerts, dashboards",
+    )
+    observed = observe.add_subparsers(dest="observe_command", required=True)
+
+    ingest = observed.add_parser(
+        "ingest", help="ingest profile dumps / telemetry runs / bench envelopes"
+    )
+    ingest.add_argument("inputs", nargs="+",
+                        help="profile dumps, TSV point dumps, telemetry.jsonl "
+                             "runs or repro-bench/1 envelopes")
+    ingest.add_argument("--store", required=True, metavar="DIR",
+                        help="observatory store directory")
+    ingest.add_argument("--run-id", default=None,
+                        help="run id override (single input only; default: "
+                             "content digest / envelope run_id)")
+    ingest.add_argument("--git-sha", default="", help="commit the run profiles")
+    ingest.add_argument("--scale", type=float, default=0.0,
+                        help="workload scale the run was taken at")
+    ingest.add_argument("--top-k", type=int, default=10, metavar="K",
+                        help="routines whose raw plot points are stored "
+                             "(default 10)")
+
+    report = observed.add_parser(
+        "report", help="render the fleet dashboard of a store"
+    )
+    report.add_argument("--store", required=True, metavar="DIR")
+    report.add_argument("--tolerance", type=float, default=1.30, metavar="T")
+    report.add_argument("--limit", type=int, default=20, metavar="N",
+                        help="trajectory rows in the ASCII dashboard")
+    report.add_argument("--html", metavar="FILE",
+                        help="also write the dashboard as one HTML file")
+
+    alerts = observed.add_parser(
+        "alerts", help="print the severity-ranked drift alert feed"
+    )
+    alerts.add_argument("--store", required=True, metavar="DIR")
+    alerts.add_argument("--tolerance", type=float, default=1.30, metavar="T")
+    alerts.add_argument("--fail-on", metavar="V[,V…]", default=None,
+                        help="exit 1 when any listed verdict appears "
+                             "(e.g. regressed or regressed,slower)")
+
+    gc = observed.add_parser(
+        "gc", help="compact the store, keeping only the newest runs"
+    )
+    gc.add_argument("--store", required=True, metavar="DIR")
+    gc.add_argument("--keep", type=int, required=True, metavar="N",
+                    help="number of newest runs to keep")
 
     return parser
 
@@ -405,6 +475,125 @@ def _cmd_overhead(args, out) -> int:
     return 0
 
 
+def _load_profile_database(path: str):
+    """A ProfileDatabase from a profile dump or a TSV point dump."""
+    from .farm import is_profile_dump, load_profile
+
+    if is_profile_dump(path):
+        with open(path) as stream:
+            return load_profile(stream)
+    with open(path) as stream:
+        return parse_points(stream)
+
+
+def _parse_fail_on(spec: Optional[str], out) -> Optional[set]:
+    if spec is None:
+        return set()
+    from .reporting.diffing import SEVERITY
+
+    verdicts = {verdict.strip() for verdict in spec.split(",") if verdict.strip()}
+    unknown = verdicts - set(SEVERITY)
+    if unknown:
+        out.write(f"error: unknown verdict(s) {', '.join(sorted(unknown))} "
+                  f"(have: {', '.join(SEVERITY)})\n")
+        return None
+    return verdicts
+
+
+def _cmd_diff(args, out) -> int:
+    from .farm import ProfileDumpError
+    from .reporting import diff_databases, render_diff
+
+    fail_on = _parse_fail_on(args.fail_on, out)
+    if fail_on is None:
+        return 2
+    try:
+        old_db = _load_profile_database(args.old)
+        new_db = _load_profile_database(args.new)
+    except (ProfileDumpError, ValueError, OSError) as error:
+        out.write(f"error: {error}\n")
+        return 2
+    with telemetry.span("diff", old=args.old, new=args.new):
+        diffs = diff_databases(old_db, new_db, min_points=args.min_points,
+                               tolerance=args.tolerance)
+        out.write(render_diff(old_db, new_db, min_points=args.min_points,
+                              tolerance=args.tolerance))
+    tripped = sorted({diff.verdict for diff in diffs} & fail_on)
+    if tripped:
+        out.write(f"diff: failing on verdict(s): {', '.join(tripped)}\n")
+        return 1
+    return 0
+
+
+def _cmd_observe(args, out) -> int:
+    from .observatory import (
+        ObservatoryStore,
+        detect_drift,
+        ingest_path,
+        render_alert_feed,
+        render_observatory_html,
+        render_observatory_report,
+    )
+
+    if args.observe_command == "ingest":
+        if args.run_id and len(args.inputs) > 1:
+            out.write("error: --run-id needs exactly one input\n")
+            return 2
+        store = ObservatoryStore(args.store)
+        failures = 0
+        with telemetry.span("observe.ingest", inputs=len(args.inputs)):
+            for path in args.inputs:
+                try:
+                    result = ingest_path(
+                        store, path, run_id=args.run_id,
+                        git_sha=args.git_sha, scale=args.scale,
+                        top_k=args.top_k,
+                    )
+                except (ValueError, OSError) as error:
+                    out.write(f"error: {error}\n")
+                    failures += 1
+                    continue
+                state = "ingested" if result.ingested else "already known (skipped)"
+                out.write(f"{path}: {state} as {result.run_id} "
+                          f"[{result.source}] — {result.detail}\n")
+        out.write(f"store {args.store}: {len(store)} run(s)\n")
+        return 1 if failures else 0
+
+    store = ObservatoryStore(args.store)
+    if args.observe_command == "report":
+        with telemetry.span("observe.report", runs=len(store)):
+            out.write(render_observatory_report(
+                store, tolerance=args.tolerance, limit=args.limit))
+        if args.html:
+            with open(args.html, "w") as stream:
+                stream.write(render_observatory_html(
+                    store, tolerance=args.tolerance,
+                    title=f"profile observatory: {args.store}"))
+            out.write(f"wrote HTML dashboard to {args.html}\n")
+        return 0
+    if args.observe_command == "alerts":
+        fail_on = _parse_fail_on(args.fail_on, out)
+        if fail_on is None:
+            return 2
+        with telemetry.span("observe.alerts", runs=len(store)):
+            alerts = detect_drift(store, tolerance=args.tolerance)
+        out.write(render_alert_feed(alerts))
+        tripped = sorted({alert.verdict for alert in alerts} & fail_on)
+        if tripped:
+            out.write(f"alerts: failing on verdict(s): {', '.join(tripped)}\n")
+            return 1
+        return 0
+    if args.observe_command == "gc":
+        if args.keep < 0:
+            out.write("error: --keep must be >= 0\n")
+            return 2
+        dropped = store.gc(keep=args.keep)
+        out.write(f"store {args.store}: dropped {dropped} run(s), "
+                  f"{len(store)} left\n")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _cmd_stats(args, out) -> int:
     from .reporting import render_telemetry_dashboard, render_telemetry_html
     from .telemetry import TelemetryRun
@@ -442,6 +631,10 @@ def _dispatch(args, out) -> int:
         return _cmd_overhead(args, out)
     if args.command == "stats":
         return _cmd_stats(args, out)
+    if args.command == "diff":
+        return _cmd_diff(args, out)
+    if args.command == "observe":
+        return _cmd_observe(args, out)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -1,0 +1,332 @@
+"""Ingestion: turning pipeline artefacts into observatory run records.
+
+Four sources feed the history store, each reduced to the same
+:class:`~repro.observatory.store.RunRecord` shape:
+
+* ``repro-profile 1`` dumps (``repro analyze --dump`` / ``repro merge``)
+  and ``repro profile --dump`` TSV point files — the rich case: every
+  merged routine's worst-case plot is fitted with
+  :func:`repro.curvefit.selection.select_model` into a curve row, the
+  top-K routines by total cost also keep their raw plot points;
+* farm :class:`~repro.farm.engine.FarmStats` — run-level throughput and
+  reliability metrics of a distributed analysis;
+* ``telemetry.jsonl`` runs — span totals and counters of one pipeline
+  invocation;
+* ``repro-bench/1`` envelopes from ``benchmarks/results/`` — scalar
+  metrics flattened from the payload (gate ratios included), keyed by
+  the envelope's own run identity.
+
+:func:`ingest_path` sniffs the file kind; the ``record_from_*``
+builders are the library API (``tools/bench_gate.py`` and tests use
+them directly).  Ingestion is idempotent by run id: the default run id
+of a file is a digest of its bytes, so re-ingesting the same artefact
+is always a no-op.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from datetime import datetime, timezone
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..core.profile_data import ProfileDatabase
+from ..curvefit.fitting import fit_power_law
+from ..curvefit.selection import select_model
+from .store import CurveRecord, ObservatoryStore, RunRecord
+
+__all__ = [
+    "IngestResult",
+    "MIN_FIT_POINTS",
+    "record_from_profile_db",
+    "record_from_farm_stats",
+    "record_from_telemetry",
+    "record_from_envelope",
+    "ingest_path",
+]
+
+#: a growth class needs at least this many distinct plot points; below
+#: it every affine fit degenerates (two points fit every basis exactly)
+MIN_FIT_POINTS = 3
+
+#: default number of routines whose raw plot points are stored per run
+DEFAULT_TOP_K = 10
+
+
+class IngestResult(NamedTuple):
+    """Outcome of ingesting one source."""
+
+    run_id: str
+    source: str          #: profile | farm | telemetry | bench
+    ingested: bool       #: False = run_id already present (idempotent skip)
+    detail: str
+
+
+def _digest_run_id(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for block in iter(lambda: stream.read(1 << 16), b""):
+            digest.update(block)
+    return digest.hexdigest()[:32]
+
+
+def _mtime_iso(path: str) -> str:
+    try:
+        mtime = os.path.getmtime(path)
+    except OSError:
+        return ""
+    return datetime.fromtimestamp(mtime, tz=timezone.utc).isoformat()
+
+
+# -- builders ----------------------------------------------------------------
+
+
+def record_from_profile_db(
+    db: ProfileDatabase,
+    run_id: str,
+    git_sha: str = "",
+    timestamp: str = "",
+    scale: float = 0.0,
+    source: str = "profile",
+    top_k: int = DEFAULT_TOP_K,
+) -> RunRecord:
+    """Fit every merged routine of ``db`` into curve rows.
+
+    Routines with fewer than :data:`MIN_FIT_POINTS` distinct sizes get
+    no curve row (the drift detector treats them as added/removed, the
+    same contract as :func:`repro.reporting.diffing.diff_databases`).
+    """
+    merged = db.merged()
+    curves: List[CurveRecord] = []
+    events = 0
+    for routine in sorted(merged):
+        profile = merged[routine]
+        events += profile.cost_sum
+        points = profile.worst_case_points()
+        if len(points) < MIN_FIT_POINTS:
+            continue
+        selection = select_model(points)
+        try:
+            exponent: Optional[float] = fit_power_law(points).exponent
+        except ValueError:
+            exponent = None
+        curves.append(CurveRecord(
+            routine=routine,
+            model=selection.name,
+            a=selection.best.a,
+            b=selection.best.b,
+            r2=selection.best.r2,
+            points=len(points),
+            max_size=int(points[-1][0]),
+            exponent=exponent,
+        ))
+    top = sorted(merged.values(), key=lambda p: (-p.cost_sum, p.routine))
+    raw_points = {
+        profile.routine: [(int(size), int(cost))
+                          for size, cost in profile.worst_case_points()]
+        for profile in top[:top_k]
+    }
+    return RunRecord(
+        run_id=run_id,
+        git_sha=git_sha,
+        timestamp=timestamp,
+        scale=scale,
+        source=source,
+        events=events,
+        metrics={},
+        curves=curves,
+        points=raw_points,
+    )
+
+
+def record_from_farm_stats(
+    stats,
+    run_id: str,
+    git_sha: str = "",
+    timestamp: str = "",
+    scale: float = 0.0,
+) -> RunRecord:
+    """Run-level metrics of one farm analysis (``FarmStats``)."""
+    metrics: Dict[str, float] = {
+        "farm.jobs": float(stats.jobs),
+        "farm.shards": float(len(stats.outcomes)),
+        "farm.retries": float(stats.retries),
+        "farm.fallbacks": float(stats.fallbacks),
+        "farm.pool_failures": float(stats.pool_failures),
+        "farm.wall_seconds": float(stats.wall_seconds),
+        "farm.events": float(stats.event_count),
+    }
+    if stats.wall_seconds > 0:
+        metrics["farm.events_per_s"] = stats.event_count / stats.wall_seconds
+    return RunRecord(
+        run_id=run_id,
+        git_sha=git_sha,
+        timestamp=timestamp,
+        scale=scale,
+        source="farm",
+        events=int(stats.event_count),
+        metrics=metrics,
+        curves=[],
+        points={},
+    )
+
+
+def record_from_telemetry(
+    run,
+    run_id: str,
+    git_sha: str = "",
+    timestamp: str = "",
+    scale: float = 0.0,
+) -> RunRecord:
+    """Span totals and counters of one ``TelemetryRun``."""
+    metrics: Dict[str, float] = {}
+    for name, totals in run.span_totals().items():
+        metrics[f"span.{name}.seconds"] = float(totals.get("wall", 0.0))
+        metrics[f"span.{name}.calls"] = float(totals.get("calls", 0))
+    for entry in run.metrics:
+        if entry.get("kind") != "counter":
+            continue
+        value = entry.get("value")
+        if isinstance(value, (int, float)):
+            key = f"counter.{entry.get('name', 'counter')}"
+            metrics[key] = metrics.get(key, 0.0) + float(value)
+    events = int(metrics.get("counter.record.events", 0))
+    return RunRecord(
+        run_id=run_id,
+        git_sha=git_sha,
+        timestamp=timestamp,
+        scale=scale,
+        source="telemetry",
+        events=events,
+        metrics=metrics,
+        curves=[],
+        points={},
+    )
+
+
+def _flatten_scalars(payload, prefix: str, into: Dict[str, float]) -> None:
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            _flatten_scalars(value, f"{prefix}.{key}" if prefix else str(key), into)
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        into[prefix] = float(payload)
+
+
+def record_from_envelope(envelope: Dict) -> RunRecord:
+    """A ``repro-bench/1`` envelope, keyed by its own run identity."""
+    metrics: Dict[str, float] = {}
+    _flatten_scalars(envelope.get("metrics") or {}, "", metrics)
+    bench = envelope.get("bench")
+    source = f"bench:{bench}" if bench else "bench"
+    return RunRecord(
+        run_id=str(envelope.get("run_id") or ""),
+        git_sha=str(envelope.get("git_sha") or ""),
+        timestamp=str(envelope.get("timestamp") or ""),
+        scale=float(envelope.get("scale") or 0.0),
+        source=source,
+        events=0,
+        metrics=metrics,
+        curves=[],
+        points={},
+    )
+
+
+# -- file sniffing -----------------------------------------------------------
+
+
+def _looks_like_telemetry(path: str) -> bool:
+    if os.path.basename(path) == "telemetry.jsonl" or os.path.isdir(path):
+        return True
+    if not path.endswith(".jsonl"):
+        return False
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as stream:
+            first = stream.readline().strip()
+        return bool(first) and json.loads(first).get("type") in (
+            "meta", "span", "heartbeat", "metrics", "event")
+    except (OSError, ValueError):
+        return False
+
+
+def _load_points_db(path: str) -> ProfileDatabase:
+    from ..reporting.report import parse_points
+
+    with open(path, "r", encoding="utf-8") as stream:
+        return parse_points(stream)
+
+
+def ingest_path(
+    store: ObservatoryStore,
+    path: str,
+    run_id: Optional[str] = None,
+    git_sha: str = "",
+    timestamp: str = "",
+    scale: float = 0.0,
+    top_k: int = DEFAULT_TOP_K,
+) -> IngestResult:
+    """Sniff ``path`` and ingest it; see the module docstring.
+
+    Accepts a ``repro-profile 1`` dump, a ``repro profile --dump`` TSV
+    point file, a ``telemetry.jsonl`` file (or a run directory holding
+    one), or a ``repro-bench/1`` JSON envelope.  Raises ``ValueError``
+    on anything else, ``OSError`` on unreadable paths.
+    """
+    from ..farm import is_profile_dump, load_profile
+
+    if _looks_like_telemetry(path):
+        from ..telemetry import TelemetryRun, resolve_log_path
+
+        log_path = resolve_log_path(path) if os.path.isdir(path) else path
+        run = TelemetryRun.load(path)
+        record = record_from_telemetry(
+            run,
+            run_id=run_id or _digest_run_id(log_path),
+            git_sha=git_sha,
+            timestamp=timestamp or _mtime_iso(log_path),
+            scale=scale,
+        )
+    elif is_profile_dump(path):
+        with open(path, "r", encoding="utf-8") as stream:
+            db = load_profile(stream)
+        record = record_from_profile_db(
+            db,
+            run_id=run_id or _digest_run_id(path),
+            git_sha=git_sha,
+            timestamp=timestamp or _mtime_iso(path),
+            scale=scale,
+            top_k=top_k,
+        )
+    elif path.endswith(".json"):
+        with open(path, "r", encoding="utf-8") as stream:
+            envelope = json.load(stream)
+        if envelope.get("schema") != "repro-bench/1":
+            raise ValueError(f"{path}: not a repro-bench/1 envelope")
+        record = record_from_envelope(envelope)
+        if run_id:
+            record = record._replace(run_id=run_id)
+        if not record.run_id:
+            record = record._replace(run_id=_digest_run_id(path))
+        if git_sha:
+            record = record._replace(git_sha=git_sha)
+    else:
+        try:
+            db = _load_points_db(path)
+        except (ValueError, OSError) as error:
+            raise ValueError(
+                f"{path}: not a profile dump, point dump, telemetry run or "
+                f"bench envelope ({error})") from None
+        record = record_from_profile_db(
+            db,
+            run_id=run_id or _digest_run_id(path),
+            git_sha=git_sha,
+            timestamp=timestamp or _mtime_iso(path),
+            scale=scale,
+            top_k=top_k,
+        )
+    ingested = store.add_run(record)
+    detail = (f"{len(record.curves)} curve(s), "
+              f"{sum(len(p) for p in record.points.values())} point(s)"
+              if record.curves or record.points
+              else f"{len(record.metrics)} metric(s)")
+    return IngestResult(record.run_id, record.source, ingested, detail)

@@ -7,9 +7,38 @@ readable on its own.  Rendering is intentionally dependency-free.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-__all__ = ["scatter", "table", "bars"]
+__all__ = ["scatter", "table", "bars", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[Optional[float]],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render a numeric series as one row of block characters.
+
+    Scaling is min..max of the series unless ``lo``/``hi`` pin the
+    range (the observatory pins growth-exponent sparklines to a shared
+    scale so rows are comparable).  Gaps (None values) render as ``·``.
+    """
+    present = [value for value in values if value is not None]
+    if not present:
+        return "·" * len(values)
+    floor = min(present) if lo is None else lo
+    ceiling = max(present) if hi is None else hi
+    span = (ceiling - floor) or 1.0
+    cells = []
+    for value in values:
+        if value is None:
+            cells.append("·")
+            continue
+        level = int((value - floor) / span * (len(_SPARK_LEVELS) - 1))
+        cells.append(_SPARK_LEVELS[max(0, min(level, len(_SPARK_LEVELS) - 1))])
+    return "".join(cells)
 
 
 def _format_number(value: float) -> str:

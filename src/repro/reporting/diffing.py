@@ -25,7 +25,24 @@ from ..curvefit.models import model_by_name
 from ..curvefit.selection import select_model
 from .ascii_charts import table
 
-__all__ = ["ProfileDiff", "diff_databases", "render_diff"]
+__all__ = [
+    "ProfileDiff",
+    "SEVERITY",
+    "MIN_FIT_POINTS",
+    "classify_pair",
+    "diff_databases",
+    "render_diff",
+]
+
+#: verdict ranking shared with the observatory drift detector — the
+#: alert feed and the pairwise diff sort by the same urgency
+SEVERITY = {"regressed": 0, "slower": 1, "added": 2, "removed": 3,
+            "unchanged": 4, "faster": 5, "improved": 6}
+
+#: a growth class needs at least this many distinct plot points: below
+#: it every affine model fits exactly (two points determine any basis),
+#: so "fitting" would classify noise, not growth
+MIN_FIT_POINTS = 3
 
 
 class ProfileDiff(NamedTuple):
@@ -39,14 +56,46 @@ class ProfileDiff(NamedTuple):
     cost_ratio: Optional[float]
 
 
+def classify_pair(
+    old_order: int, new_order: int, ratio: Optional[float],
+    tolerance: float = 1.30,
+) -> str:
+    """Verdict for one (old, new) growth-class pair.
+
+    ``ratio`` is the predicted-cost ratio at the common largest input
+    size; None (incomparable constants) degrades gracefully to a pure
+    class-rank comparison.
+    """
+    if new_order > old_order:
+        return "regressed"
+    if new_order < old_order:
+        return "improved"
+    if ratio is not None:
+        if ratio > tolerance:
+            return "slower"
+        if ratio < 1.0 / tolerance:
+            return "faster"
+    return "unchanged"
+
+
 def _fit(db: ProfileDatabase, routine: str, min_points: int):
+    """(selection, points) — selection is None when unfittable.
+
+    Unfittable means absent, or fewer than ``max(min_points,
+    MIN_FIT_POINTS)`` distinct sizes: such routines classify as
+    added/removed instead of producing a degenerate O(1) fit that
+    would mis-rank against the other side.
+    """
     profile = db.merged().get(routine)
     if profile is None:
         return None, None
     points = profile.worst_case_points()
-    if len(points) < min_points:
+    if len(points) < max(min_points, MIN_FIT_POINTS):
         return None, points
-    return select_model(points), points
+    try:
+        return select_model(points), points
+    except ValueError:
+        return None, points
 
 
 def diff_databases(
@@ -76,35 +125,29 @@ def diff_databases(
                                      old_selection.name, None, None))
             continue
         common_max = min(old_points[-1][0], new_points[-1][0])
-        old_cost = max(old_selection.best.predict(common_max), 1e-9)
+        old_cost = old_selection.best.predict(common_max)
         new_cost = max(new_selection.best.predict(common_max), 0.0)
-        ratio = new_cost / old_cost
-        old_order = model_by_name(old_selection.name).order
-        new_order = model_by_name(new_selection.name).order
-        if new_order > old_order:
-            verdict = "regressed"
-        elif new_order < old_order:
-            verdict = "improved"
-        elif ratio > tolerance:
-            verdict = "slower"
-        elif ratio < 1.0 / tolerance:
-            verdict = "faster"
-        else:
-            verdict = "unchanged"
+        # a vanishing old prediction makes the ratio meaningless, not
+        # infinite — leave it None and judge by class rank alone
+        ratio = new_cost / old_cost if old_cost > 1e-9 else None
+        verdict = classify_pair(
+            model_by_name(old_selection.name).order,
+            model_by_name(new_selection.name).order,
+            ratio, tolerance,
+        )
         diffs.append(ProfileDiff(routine, verdict, old_selection.name,
                                  new_selection.name, ratio))
 
-    severity = {"regressed": 0, "slower": 1, "added": 2, "removed": 3,
-                "unchanged": 4, "faster": 5, "improved": 6}
-    diffs.sort(key=lambda diff: (severity[diff.verdict],
+    diffs.sort(key=lambda diff: (SEVERITY[diff.verdict],
                                  -(diff.cost_ratio or 0.0)))
     return diffs
 
 
 def render_diff(old_db: ProfileDatabase, new_db: ProfileDatabase,
-                min_points: int = 4) -> str:
+                min_points: int = 4, tolerance: float = 1.30) -> str:
     """Human-readable regression report."""
-    diffs = diff_databases(old_db, new_db, min_points=min_points)
+    diffs = diff_databases(old_db, new_db, min_points=min_points,
+                           tolerance=tolerance)
     rows = [
         [
             diff.routine,

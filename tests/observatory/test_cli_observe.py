@@ -1,0 +1,179 @@
+"""CLI tests: `repro observe {ingest,report,alerts,gc}` and `repro diff`."""
+
+import io
+import json
+
+from repro.cli import main
+from repro.farm import save_profile
+from repro.observatory import ObservatoryStore
+
+from .util import db_from
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def write_dump(path, routines, sizes=(4, 8, 16, 32, 64)):
+    with open(path, "w", encoding="utf-8") as stream:
+        save_profile(db_from(routines, sizes=sizes), stream)
+    return str(path)
+
+
+def seeded_cli_store(tmp_path, histories):
+    """Ingest one dump per history dict, in order, via the CLI."""
+    store = str(tmp_path / "obs")
+    for index, routines in enumerate(histories):
+        dump = write_dump(tmp_path / f"run{index}.prof", routines)
+        code, out = run_cli("observe", "ingest", dump, "--store", store,
+                            "--run-id", f"run{index}")
+        assert code == 0, out
+    return store
+
+
+def test_ingest_reports_and_is_idempotent(tmp_path):
+    dump = write_dump(tmp_path / "a.prof", {"f": lambda n: 10 * n})
+    store = str(tmp_path / "obs")
+    code, out = run_cli("observe", "ingest", dump, "--store", store)
+    assert code == 0
+    assert "ingested" in out
+    assert "1 run(s)" in out
+    code, out = run_cli("observe", "ingest", dump, "--store", store)
+    assert code == 0
+    assert "already known (skipped)" in out
+    assert "1 run(s)" in out
+
+
+def test_ingest_rejects_garbage_with_exit_1(tmp_path):
+    junk = tmp_path / "junk.bin"
+    junk.write_text("definitely not a profile\n")
+    code, out = run_cli("observe", "ingest", str(junk),
+                        "--store", str(tmp_path / "obs"))
+    assert code == 1
+    assert "error:" in out
+
+
+def test_ingest_run_id_needs_single_input(tmp_path):
+    a = write_dump(tmp_path / "a.prof", {"f": lambda n: n})
+    b = write_dump(tmp_path / "b.prof", {"f": lambda n: n})
+    code, out = run_cli("observe", "ingest", a, b,
+                        "--store", str(tmp_path / "obs"), "--run-id", "r")
+    assert code == 2
+    assert "exactly one input" in out
+
+
+def test_report_renders_and_writes_html(tmp_path):
+    store = seeded_cli_store(tmp_path, [
+        {"f": lambda n: 10 * n},
+        {"f": lambda n: n * n},
+    ])
+    html_path = tmp_path / "dash.html"
+    code, out = run_cli("observe", "report", "--store", store,
+                        "--html", str(html_path))
+    assert code == 0
+    assert "Fleet summary" in out
+    assert "regressed" in out
+    html = html_path.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "regressed" in html
+
+
+def test_alerts_fail_on_trips_exit_code(tmp_path):
+    store = seeded_cli_store(tmp_path, [
+        {"f": lambda n: 10 * n},
+        {"f": lambda n: n * n},
+    ])
+    code, out = run_cli("observe", "alerts", "--store", store)
+    assert code == 0          # alerts alone never fail
+    assert "regressed" in out
+    code, out = run_cli("observe", "alerts", "--store", store,
+                        "--fail-on", "regressed")
+    assert code == 1
+    assert "failing on verdict(s): regressed" in out
+
+
+def test_alerts_fail_on_clean_history_passes(tmp_path):
+    store = seeded_cli_store(tmp_path, [
+        {"f": lambda n: 10 * n},
+        {"f": lambda n: 10 * n},
+    ])
+    code, out = run_cli("observe", "alerts", "--store", store,
+                        "--fail-on", "regressed")
+    assert code == 0
+    assert "no drift" in out
+
+
+def test_alerts_unknown_verdict_exits_2(tmp_path):
+    store = seeded_cli_store(tmp_path, [{"f": lambda n: n}])
+    code, out = run_cli("observe", "alerts", "--store", store,
+                        "--fail-on", "explosive")
+    assert code == 2
+    assert "unknown verdict" in out
+
+
+def test_gc_drops_oldest_runs(tmp_path):
+    # identical dumps, but the explicit --run-id keeps all four distinct
+    store = seeded_cli_store(tmp_path, [
+        {"f": lambda n: n} for _ in range(4)
+    ])
+    code, out = run_cli("observe", "gc", "--store", store, "--keep", "2")
+    assert code == 0
+    assert "dropped 2 run(s), 2 left" in out
+    assert len(ObservatoryStore(store)) == 2
+    code, out = run_cli("observe", "gc", "--store", store, "--keep", "-1")
+    assert code == 2
+
+
+def test_ingest_bench_envelope_uses_its_run_identity(tmp_path):
+    envelope = {
+        "schema": "repro-bench/1",
+        "run_id": "bench-runid-42",
+        "git_sha": "deadbeef",
+        "timestamp": "2026-08-01T00:00:00+00:00",
+        "bench": "kernel",
+        "scale": 1.0,
+        "metrics": {"gate": {"scale": 1.0, "ratios": {"speedup": 2.0}}},
+    }
+    path = tmp_path / "env.json"
+    path.write_text(json.dumps(envelope))
+    store = str(tmp_path / "obs")
+    code, out = run_cli("observe", "ingest", str(path), "--store", store)
+    assert code == 0
+    assert "bench-runid-42" in out
+    assert "[bench:kernel]" in out
+    opened = ObservatoryStore(store)
+    (info,) = opened.runs()
+    assert info.run_id == "bench-runid-42"
+    metrics = opened.metrics_for(info.seq)
+    assert metrics["gate.ratios.speedup"] == 2.0
+
+
+def test_diff_subcommand_finds_regression(tmp_path):
+    old = write_dump(tmp_path / "old.prof", {"f": lambda n: 10 * n})
+    new = write_dump(tmp_path / "new.prof", {"f": lambda n: n * n})
+    code, out = run_cli("diff", old, new)
+    assert code == 0
+    assert "regressed" in out
+    assert "O(n)" in out and "O(n^2)" in out
+
+
+def test_diff_fail_on_exit_codes(tmp_path):
+    old = write_dump(tmp_path / "old.prof", {"f": lambda n: 10 * n})
+    new = write_dump(tmp_path / "new.prof", {"f": lambda n: n * n})
+    same = write_dump(tmp_path / "same.prof", {"f": lambda n: 10 * n})
+    code, out = run_cli("diff", old, new, "--fail-on", "regressed")
+    assert code == 1
+    assert "failing on verdict(s): regressed" in out
+    code, _ = run_cli("diff", old, same, "--fail-on", "regressed,slower")
+    assert code == 0
+    code, out = run_cli("diff", old, new, "--fail-on", "nonsense")
+    assert code == 2
+
+
+def test_diff_missing_file_exits_2(tmp_path):
+    old = write_dump(tmp_path / "old.prof", {"f": lambda n: n})
+    code, out = run_cli("diff", old, str(tmp_path / "absent.prof"))
+    assert code == 2
+    assert "error:" in out

@@ -1,0 +1,85 @@
+"""Dashboard tests: ASCII report, HTML document, sparklines."""
+
+from repro.observatory import (
+    ObservatoryStore,
+    detect_drift,
+    render_alert_feed,
+    render_observatory_html,
+    render_observatory_report,
+)
+from repro.reporting.ascii_charts import sparkline
+
+from .util import drifting_history, seeded_store
+
+
+def test_sparkline_maps_range_to_blocks():
+    line = sparkline([1.0, 2.0, 3.0, 4.0])
+    assert len(line) == 4
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+    assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+
+def test_sparkline_handles_gaps_and_empty():
+    assert sparkline([]) == ""
+    assert sparkline([None, None]) == "··"
+    line = sparkline([1.0, None, 3.0])
+    assert line[1] == "·"
+    assert line[0] != "·" and line[2] != "·"
+
+
+def test_ascii_report_shows_fleet_trajectories_and_alerts(tmp_path):
+    store = seeded_store(tmp_path / "obs", drifting_history())
+    report = render_observatory_report(store)
+    assert "Profile observatory — 5 run(s), 3 routine(s)" in report
+    assert "Fleet summary" in report
+    assert "Growth trajectories" in report
+    assert "Alert feed" in report
+    assert "O(n) -> O(n^2)" in report
+    assert "regressed" in report
+    # alerted routines rank above steady ones in the trajectory table
+    assert report.index("victim") < report.index("stable")
+    assert "steady" in report
+
+
+def test_ascii_report_on_empty_store(tmp_path):
+    store = ObservatoryStore(str(tmp_path / "obs"))
+    report = render_observatory_report(store)
+    assert "0 run(s)" in report
+    assert "empty store" in report
+
+
+def test_alert_feed_without_alerts_says_so():
+    feed = render_alert_feed([])
+    assert "no drift" in feed
+
+
+def test_alert_feed_rows_carry_verdict_and_classes(tmp_path):
+    store = seeded_store(tmp_path / "obs", drifting_history())
+    feed = render_alert_feed(detect_drift(store))
+    assert "victim" in feed
+    assert "regressed" in feed
+    assert "O(n)" in feed
+    assert "O(n^2)" in feed
+    assert "x" in feed   # rendered cost ratio
+
+
+def test_html_dashboard_is_a_complete_document(tmp_path):
+    store = seeded_store(tmp_path / "obs", drifting_history())
+    html = render_observatory_html(store, title="obs test")
+    assert html.startswith("<!DOCTYPE html>")
+    assert html.rstrip().endswith("</html>")
+    assert "obs test" in html
+    assert "victim" in html
+    assert "regressed" in html
+    assert "<svg" in html            # exponent trajectory figures
+    assert "Worst alert" in html     # raw cost plot of the top alert
+    assert "#aa2222" in html         # alerted routines plot in red
+
+
+def test_html_dashboard_on_clean_history(tmp_path):
+    store = seeded_store(
+        tmp_path / "obs", drifting_history(degrade_from=99, runs=3))
+    html = render_observatory_html(store)
+    assert "No drift" in html
+    assert "Worst alert" not in html

@@ -1,0 +1,169 @@
+"""Drift-detector tests: the acceptance scenario, ordering, edge cases."""
+
+import pytest
+
+from repro.observatory import (
+    ObservatoryStore,
+    RunRecord,
+    detect_drift,
+    record_from_profile_db,
+    trajectories,
+)
+from repro.reporting.diffing import SEVERITY
+
+from .util import db_from, drifting_history, seeded_store
+
+
+def by_routine(alerts):
+    return {alert.routine: alert for alert in alerts}
+
+
+def test_injected_quadratic_is_the_only_alert(tmp_path):
+    """The issue's acceptance scenario: 5 runs, one routine O(n) -> O(n^2)."""
+    store = seeded_store(tmp_path / "obs", drifting_history())
+    alerts = detect_drift(store)
+    assert [alert.routine for alert in alerts] == ["victim"]
+    (alert,) = alerts
+    assert alert.verdict == "regressed"
+    assert alert.old_growth == "O(n)"
+    assert alert.new_growth == "O(n^2)"
+    assert alert.runs_observed == 5
+    assert alert.first_run == "run0"
+    assert alert.last_run == "run4"
+    assert alert.cost_ratio is not None and alert.cost_ratio > 1.0
+
+
+def test_changepoint_lands_on_the_degrading_run(tmp_path):
+    store = seeded_store(tmp_path / "obs", drifting_history(degrade_from=3))
+    trajectory = {t.routine: t for t in trajectories(store)}["victim"]
+    assert trajectory.classes == ["O(n)"] * 3 + ["O(n^2)"] * 2
+    (changepoint,) = trajectory.changepoints
+    assert changepoint.prev_run_id == "run2"
+    assert changepoint.run_id == "run3"
+    assert changepoint.old_growth == "O(n)"
+    assert changepoint.new_growth == "O(n^2)"
+    assert changepoint.verdict == "regressed"
+
+
+def test_slow_slide_still_classifies_once(tmp_path):
+    """First-vs-last comparison catches drift even with one changepoint max."""
+    store = seeded_store(tmp_path / "obs", drifting_history(degrade_from=2))
+    (alert,) = detect_drift(store)
+    assert alert.changepoints == 1
+    assert alert.verdict == "regressed"
+
+
+def test_alert_feed_is_severity_ordered(tmp_path):
+    old = db_from({
+        "reg": lambda n: 3 * n,
+        "slow": lambda n: 10 * n,
+        "gone": lambda n: 5 * n,
+        "fast": lambda n: 30 * n,
+        "imp": lambda n: n * n,
+    })
+    new = db_from({
+        "reg": lambda n: n * n,
+        "slow": lambda n: 25 * n,
+        "fresh": lambda n: 5 * n,
+        "fast": lambda n: 10 * n,
+        "imp": lambda n: 12 * n,
+    })
+    store = seeded_store(tmp_path / "obs", [old, new])
+    verdicts = [(alert.routine, alert.verdict) for alert in detect_drift(store)]
+    assert verdicts == [
+        ("reg", "regressed"),
+        ("slow", "slower"),
+        ("fresh", "added"),
+        ("gone", "removed"),
+        ("fast", "faster"),
+        ("imp", "improved"),
+    ]
+    ranks = [SEVERITY[verdict] for _, verdict in verdicts]
+    assert ranks == sorted(ranks)
+
+
+def test_stable_history_has_no_alerts(tmp_path):
+    databases = [db_from({"f": lambda n: 10 * n, "g": lambda n: n * n})
+                 for _ in range(4)]
+    store = seeded_store(tmp_path / "obs", databases)
+    assert detect_drift(store) == []
+
+
+def test_single_run_history_is_quiet(tmp_path):
+    store = seeded_store(tmp_path / "obs", drifting_history(runs=1))
+    assert detect_drift(store) == []
+
+
+def test_empty_store_is_quiet(tmp_path):
+    store = ObservatoryStore(str(tmp_path / "obs"))
+    assert detect_drift(store) == []
+    assert trajectories(store) == []
+
+
+def test_curveless_latest_run_does_not_mass_remove(tmp_path):
+    """A bench envelope ingested after the profiles must not flag removals."""
+    store = seeded_store(tmp_path / "obs", drifting_history())
+    store.add_run(RunRecord(
+        run_id="bench-1", git_sha="", timestamp="2026-07-31T00:00:00+00:00",
+        scale=1.0, source="bench:kernel", events=0,
+        metrics={"gate.ratios.speedup": 1.4}, curves=[], points={},
+    ))
+    alerts = detect_drift(store)
+    assert [alert.routine for alert in alerts] == ["victim"]
+    assert alerts[0].verdict == "regressed"
+
+
+def test_tolerance_controls_constant_factor_verdicts(tmp_path):
+    store = seeded_store(tmp_path / "obs", [
+        db_from({"f": lambda n: 10 * n}),
+        db_from({"f": lambda n: 16 * n}),
+    ])
+    assert by_routine(detect_drift(store, tolerance=1.30))["f"].verdict == "slower"
+    assert detect_drift(store, tolerance=2.0) == []
+
+
+def test_unfittable_routine_becomes_added_then_removed(tmp_path):
+    """< 3 distinct sizes never produces a curve, so presence flips."""
+    thin = db_from({"f": lambda n: 10 * n})
+    for size in (4, 8):                # two distinct sizes: unfittable
+        thin.add_activation("thin", 1, size, size)
+    full = db_from({"f": lambda n: 10 * n, "thin": lambda n: n})
+    store = seeded_store(tmp_path / "obs", [thin, full])
+    alert = by_routine(detect_drift(store))["thin"]
+    assert alert.verdict == "added"
+    assert alert.old_growth is None
+    assert alert.new_growth == "O(n)"
+
+    store2 = seeded_store(tmp_path / "obs2", [full, thin])
+    alert = by_routine(detect_drift(store2))["thin"]
+    assert alert.verdict == "removed"
+    assert alert.old_growth == "O(n)"
+    assert alert.new_growth is None
+
+
+def test_trajectory_exponents_track_the_bend(tmp_path):
+    store = seeded_store(tmp_path / "obs", drifting_history())
+    trajectory = {t.routine: t for t in trajectories(store)}["victim"]
+    exponents = trajectory.exponents
+    assert len(exponents) == 5
+    assert exponents[0] == pytest.approx(1.0, abs=0.15)
+    assert exponents[-1] == pytest.approx(2.0, abs=0.15)
+
+
+def test_drift_survives_store_reopen(tmp_path):
+    store = seeded_store(tmp_path / "obs", drifting_history())
+    expected = detect_drift(store)
+    store.close()
+    reopened = ObservatoryStore(str(tmp_path / "obs"))
+    assert detect_drift(reopened) == expected
+
+
+def test_record_builder_skips_unfittable_routines():
+    db = db_from({"ok": lambda n: n, "thin": lambda n: n}, sizes=(4, 8, 16))
+    thin_db = db_from({"thin2": lambda n: n}, sizes=(4, 8))
+    record = record_from_profile_db(db, run_id="r")
+    assert [curve.routine for curve in record.curves] == ["ok", "thin"]
+    record = record_from_profile_db(thin_db, run_id="r2")
+    assert record.curves == []
+    # raw points are still kept for the top-K, fit or no fit
+    assert "thin2" in record.points

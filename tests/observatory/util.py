@@ -1,0 +1,48 @@
+"""Shared helpers: synthetic profile databases and run histories."""
+
+from repro.core import ProfileDatabase
+from repro.observatory import ObservatoryStore, record_from_profile_db
+
+SIZES = (4, 8, 16, 32, 64)
+
+
+def db_from(routines, sizes=SIZES):
+    """A ProfileDatabase with one activation per (routine, size)."""
+    db = ProfileDatabase()
+    for name, cost_fn in routines.items():
+        for size in sizes:
+            db.add_activation(name, 1, size, int(cost_fn(size)))
+    return db
+
+
+def seeded_store(path, run_databases, **record_kwargs):
+    """A store holding ``run_databases`` as runs run0, run1, … in order."""
+    store = ObservatoryStore(str(path))
+    for index, db in enumerate(run_databases):
+        record = record_from_profile_db(
+            db,
+            run_id=f"run{index}",
+            git_sha=f"sha{index}",
+            timestamp=f"2026-07-{index + 1:02d}T00:00:00+00:00",
+            scale=1.0,
+            **record_kwargs,
+        )
+        assert store.add_run(record)
+    return store
+
+
+def drifting_history(degrade_from=3, runs=5):
+    """The canonical synthetic history: ``victim`` goes O(n) -> O(n^2).
+
+    ``stable`` and ``loglike`` hold their growth class in every run;
+    ``victim`` turns quadratic from run index ``degrade_from`` on.
+    """
+    databases = []
+    for index in range(runs):
+        quadratic = index >= degrade_from
+        databases.append(db_from({
+            "stable": lambda n: 10 * n,
+            "loglike": lambda n: 7 * n,
+            "victim": (lambda n: n * n) if quadratic else (lambda n: 3 * n),
+        }))
+    return databases

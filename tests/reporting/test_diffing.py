@@ -94,6 +94,58 @@ def test_render_diff():
     assert "regressed" in rendered
 
 
+def test_thin_routine_classifies_as_added_not_degenerate_fit():
+    """< 3 distinct RMS values never produce a curve, whatever min_points."""
+    old = db_from({"f": lambda n: 10 * n})
+    new = ProfileDatabase()
+    for size in (4, 8):                       # two points fit every basis
+        new.add_activation("f", 1, size, 10 * size)
+        new.add_activation("thin", 1, size, size * size)
+    diffs = by_routine(diff_databases(old, new, min_points=1))
+    assert diffs["f"].verdict == "removed"    # 2 < 3 even with min_points=1
+    assert "thin" not in diffs                # unfittable on both sides? absent
+    # and the mirror direction is consistent
+    diffs = by_routine(diff_databases(new, old, min_points=1))
+    assert diffs["f"].verdict == "added"
+    assert diffs["f"].old_growth is None
+    assert diffs["f"].new_growth == "O(n)"
+
+
+def test_zero_cost_side_yields_none_ratio_and_renders():
+    """A vanishing old prediction leaves the ratio None, not infinite."""
+    old = ProfileDatabase()
+    new = ProfileDatabase()
+    for size in SIZES:
+        old.add_activation("z", 1, size, 0)
+        new.add_activation("z", 1, size, size * size)
+    (diff,) = diff_databases(old, new)
+    assert diff.verdict == "regressed"        # judged by class rank alone
+    assert diff.cost_ratio is None
+    rendered = render_diff(old, new)
+    assert "regressed" in rendered
+    assert "-" in rendered                    # None ratio renders as a dash
+
+
+def test_classify_pair_handles_none_ratio():
+    from repro.reporting.diffing import classify_pair
+
+    assert classify_pair(1, 2, None) == "regressed"
+    assert classify_pair(2, 1, None) == "improved"
+    assert classify_pair(1, 1, None) == "unchanged"
+    assert classify_pair(1, 1, 2.0) == "slower"
+    assert classify_pair(1, 1, 0.4) == "faster"
+    assert classify_pair(1, 1, 1.1) == "unchanged"
+
+
+def test_severity_order_is_shared_vocabulary():
+    from repro.reporting.diffing import SEVERITY
+
+    assert sorted(SEVERITY, key=SEVERITY.get) == [
+        "regressed", "slower", "added", "removed",
+        "unchanged", "faster", "improved",
+    ]
+
+
 def test_end_to_end_catches_a_planted_regression():
     """Two versions of real profiled code: v2 grows a hidden quadratic."""
     from repro.core import EventBus, RmsProfiler

@@ -36,6 +36,18 @@ directory; commit the diff with a justification of the change (see
 docs/KERNEL.md).  Benches run at ``--scale`` (default 0.5) so the gate
 stays fast; baselines must be recorded at the same scale — the gate
 refuses to compare envelopes whose gate scales differ.
+
+Every comparison also emits a machine-readable summary
+(``repro-gate-summary/1`` JSON, ``--summary`` to relocate/disable):
+pass/fail, per-baseline status, and every violation — the artifact CI
+archives and downstream tooling parses instead of scraping the log.
+
+With ``--observatory DIR`` the gate run feeds the profile observatory:
+fresh envelopes are auto-ingested into the history store (idempotent by
+run id), and ``--fail-on-drift`` additionally fails the gate when the
+store's drift detector reports a growth-class regression — the gate
+then guards cost *functions* across the whole run history, not just
+this run's throughput ratios (see docs/OBSERVATORY.md).
 """
 
 from __future__ import annotations
@@ -48,6 +60,11 @@ import subprocess
 import sys
 import tempfile
 from typing import Dict, List, Optional
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:        # repro.observatory for --observatory runs
+    sys.path.insert(0, _SRC)
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -63,6 +80,14 @@ BASELINES_DIR = os.path.join(_ROOT, "benchmarks", "baselines")
 #: kernel times sit above timer/scheduler noise, small enough that the
 #: gate stays a seconds-scale CI job
 GATE_SCALE = 1.0
+
+#: schema tag of the machine-readable gate summary artifact
+SUMMARY_SCHEMA = "repro-gate-summary/1"
+
+#: default summary artifact location (independent of scratch results
+#: directories, so --run does not delete it with the scratch dir)
+SUMMARY_PATH = os.path.join(_ROOT, "benchmarks", "results",
+                            "bench_gate_summary.json")
 
 
 class GateFailure(Exception):
@@ -145,12 +170,65 @@ def compare_envelopes(
     return problems
 
 
+def _ingest_observatory(
+    observatory: str, results_dir: str, fail_on_drift: bool, out,
+) -> Dict:
+    """Auto-ingest fresh envelopes; optionally detect growth-class drift.
+
+    Returns the ``observatory`` section of the gate summary.  Drift
+    regressions are reported (and gated with ``fail_on_drift``) from
+    the whole history store — envelopes ingested here plus whatever
+    profile runs `repro observe ingest` fed it before.
+    """
+    from repro.observatory import ObservatoryStore, detect_drift, ingest_path
+
+    store = ObservatoryStore(observatory)
+    ingested, skipped = [], []
+    for name in sorted(os.listdir(results_dir)):
+        path = os.path.join(results_dir, name)
+        if not name.endswith(".json"):
+            continue
+        try:
+            result = ingest_path(store, path)
+        except (ValueError, OSError):
+            continue    # not an envelope (e.g. the gate summary itself)
+        (ingested if result.ingested else skipped).append(result.run_id)
+    out.write(f"bench-gate: observatory {observatory}: "
+              f"{len(ingested)} envelope(s) ingested, "
+              f"{len(skipped)} already known, {len(store)} run(s) total\n")
+    alerts = detect_drift(store)
+    regressions = [alert for alert in alerts if alert.verdict == "regressed"]
+    for alert in regressions:
+        out.write(f"bench-gate: drift: {alert.routine} regressed "
+                  f"{alert.old_growth} -> {alert.new_growth} over "
+                  f"{alert.runs_observed} run(s)\n")
+    return {
+        "store": observatory,
+        "ingested": ingested,
+        "skipped": skipped,
+        "alerts": [alert._asdict() for alert in alerts],
+        "drift_gated": fail_on_drift,
+        "drift_regressions": len(regressions),
+    }
+
+
+def _write_summary(path: str, summary: Dict, out) -> None:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(summary, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    out.write(f"bench-gate: wrote summary to {path}\n")
+
+
 def run_gate(
     results_dir: str,
     baselines_dir: str = BASELINES_DIR,
     tolerance: float = 0.25,
     absolute: bool = False,
     rebaseline: bool = False,
+    summary_path: Optional[str] = SUMMARY_PATH,
+    observatory: Optional[str] = None,
+    fail_on_drift: bool = False,
     out=sys.stdout,
 ) -> int:
     """Compare every baseline against its fresh envelope; 0 iff clean."""
@@ -165,7 +243,10 @@ def run_gate(
         for name in sorted(os.listdir(results_dir)):
             if not name.endswith(".json"):
                 continue
-            envelope = load_envelope(os.path.join(results_dir, name))
+            try:
+                envelope = load_envelope(os.path.join(results_dir, name))
+            except GateFailure:
+                continue    # non-envelope JSON (e.g. a gate summary)
             # only envelopes that carry a gate section become baselines
             if not isinstance((envelope.get("metrics") or {}).get("gate"), dict):
                 continue
@@ -177,25 +258,57 @@ def run_gate(
             out.write(f"bench-gate: nothing to rebaseline in {results_dir}\n")
             return 1
         return 0
+
+    summary: Dict = {
+        "schema": SUMMARY_SCHEMA,
+        "tolerance": tolerance,
+        "absolute": absolute,
+        "results_dir": results_dir,
+        "baselines_dir": baselines_dir,
+        "compared": [],
+        "problems": [],
+        "ok": False,
+    }
+    problems: List[str] = []
     if not baseline_names:
         out.write(f"bench-gate: no baselines under {baselines_dir}; "
                   f"run with --rebaseline to create them\n")
-        return 1
-
-    problems: List[str] = []
+        problems.append(f"no baselines under {baselines_dir}")
     for name in baseline_names:
         baseline = load_envelope(os.path.join(baselines_dir, name))
         fresh_path = os.path.join(results_dir, name)
         if not os.path.exists(fresh_path):
             problems.append(f"{name}: no fresh envelope in {results_dir} "
                             f"(did the bench run?)")
+            summary["compared"].append({"name": name, "status": "missing"})
             continue
         fresh = load_envelope(fresh_path)
         found = compare_envelopes(baseline, fresh, name, tolerance, absolute)
+        summary["compared"].append({
+            "name": name,
+            "status": "fail" if found else "ok",
+            "baseline_run_id": baseline.get("run_id"),
+            "fresh_run_id": fresh.get("run_id"),
+            "violations": list(found),
+        })
         if found:
             problems.extend(found)
         else:
             out.write(f"bench-gate: {name} OK\n")
+
+    if observatory is not None:
+        summary["observatory"] = _ingest_observatory(
+            observatory, results_dir, fail_on_drift, out)
+        if fail_on_drift and summary["observatory"]["drift_regressions"]:
+            problems.append(
+                f"growth-class drift: "
+                f"{summary['observatory']['drift_regressions']} routine(s) "
+                f"regressed across the observed run history")
+
+    summary["problems"] = list(problems)
+    summary["ok"] = not problems
+    if summary_path:
+        _write_summary(summary_path, summary, out)
     if problems:
         for problem in problems:
             out.write(f"bench-gate: FAIL: {problem}\n")
@@ -233,7 +346,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "benchmarks/results/)")
     parser.add_argument("--baselines", metavar="DIR", default=BASELINES_DIR,
                         help="baseline directory (default benchmarks/baselines/)")
+    parser.add_argument("--summary", metavar="FILE", default=SUMMARY_PATH,
+                        help="machine-readable repro-gate-summary/1 artifact "
+                             "(default benchmarks/results/"
+                             "bench_gate_summary.json; 'none' to disable)")
+    parser.add_argument("--observatory", metavar="DIR", default=None,
+                        help="auto-ingest fresh envelopes into this profile-"
+                             "observatory store (see docs/OBSERVATORY.md)")
+    parser.add_argument("--fail-on-drift", action="store_true",
+                        help="with --observatory: fail when the store's "
+                             "drift detector reports a growth-class "
+                             "regression")
     args = parser.parse_args(argv)
+    if args.fail_on_drift and args.observatory is None:
+        parser.error("--fail-on-drift requires --observatory DIR")
+    summary_path = None if args.summary == "none" else args.summary
 
     scratch = None
     results_dir = args.results
@@ -247,7 +374,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.run:
             run_benches(results_dir, args.scale)
         return run_gate(results_dir, args.baselines, args.tolerance,
-                        args.absolute, args.rebaseline)
+                        args.absolute, args.rebaseline,
+                        summary_path=summary_path,
+                        observatory=args.observatory,
+                        fail_on_drift=args.fail_on_drift)
     except GateFailure as failure:
         sys.stdout.write(f"bench-gate: FAIL: {failure}\n")
         return 1

@@ -30,7 +30,16 @@ Commands:
   function diff of ``reporting.diffing``);
 * ``observe {ingest,report,alerts,gc}`` — the profile observatory: a
   persistent history store over many runs, growth-rate drift alerts
-  and fleet dashboards (see ``docs/OBSERVATORY.md``).
+  and fleet dashboards (``ingest -`` reads one artefact from stdin;
+  see ``docs/OBSERVATORY.md``);
+* ``serve`` — the long-lived ingestion server: accepts profile dumps,
+  v2 traces, telemetry logs and bench envelopes over the
+  ``repro-wire/1`` protocol into per-tenant observatory stores,
+  analysing asynchronously on a bounded job queue (``docs/SERVICE.md``);
+* ``slap`` — the minislap load generator: a swarm of concurrent
+  clients hammering a running server, reported as p50/p99 upload
+  latency and duplicate/rejected tallies (optionally as a
+  ``repro-bench/1`` envelope for the bench gate).
 
 Every pipeline command accepts ``--telemetry DIR``: spans, heartbeats
 and metrics of that invocation land in ``DIR/telemetry.jsonl`` for
@@ -186,8 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
         "ingest", help="ingest profile dumps / telemetry runs / bench envelopes"
     )
     ingest.add_argument("inputs", nargs="+",
-                        help="profile dumps, TSV point dumps, telemetry.jsonl "
-                             "runs or repro-bench/1 envelopes")
+                        help="profile dumps, TSV point dumps, v2 traces, "
+                             "telemetry.jsonl runs or repro-bench/1 "
+                             "envelopes; '-' reads one artefact from stdin")
     ingest.add_argument("--store", required=True, metavar="DIR",
                         help="observatory store directory")
     ingest.add_argument("--run-id", default=None,
@@ -225,6 +235,53 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--store", required=True, metavar="DIR")
     gc.add_argument("--keep", type=int, required=True, metavar="N",
                     help="number of newest runs to keep")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the profiling service: multi-tenant ingestion over TCP",
+    )
+    serve.add_argument("--root", required=True, metavar="DIR",
+                       help="tenant root (one observatory store per tenant)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = ephemeral, printed on start)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="ingestion worker threads (default 2)")
+    serve.add_argument("--capacity", type=int, default=64, metavar="N",
+                       help="bounded job-queue capacity (default 64)")
+    serve.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="extra attempts for a failed ingest job (default 1)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="fail jobs that waited in queue past this deadline")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="how long shutdown waits for in-flight jobs "
+                            "(default 30)")
+    _add_telemetry_option(serve)
+
+    slap = commands.add_parser(
+        "slap",
+        help="minislap: hammer a running service with concurrent uploads",
+    )
+    slap.add_argument("--host", default="127.0.0.1")
+    slap.add_argument("--port", type=int, required=True)
+    slap.add_argument("--tenant", default="slap")
+    slap.add_argument("--clients", type=int, default=8, metavar="N",
+                      help="concurrent client threads (default 8)")
+    slap.add_argument("--uploads", type=int, default=16, metavar="N",
+                      help="uploads per client (default 16)")
+    slap.add_argument("--duplicate-ratio", type=float, default=0.1,
+                      metavar="R",
+                      help="fraction of uploads that re-send an earlier "
+                           "artefact (default 0.1)")
+    slap.add_argument("--seed", type=int, default=101)
+    slap.add_argument("--wait", action="store_true",
+                      help="wait for each upload's ingest job to finish "
+                           "(measures end-to-end instead of ack latency)")
+    slap.add_argument("--json", metavar="FILE", default=None,
+                      help="also write the repro-bench/1 envelope "
+                           "(gate.latency_ms for tools/bench_gate.py)")
 
     return parser
 
@@ -529,6 +586,7 @@ def _cmd_observe(args, out) -> int:
     from .observatory import (
         ObservatoryStore,
         detect_drift,
+        ingest_bytes,
         ingest_path,
         render_alert_feed,
         render_observatory_html,
@@ -539,16 +597,28 @@ def _cmd_observe(args, out) -> int:
         if args.run_id and len(args.inputs) > 1:
             out.write("error: --run-id needs exactly one input\n")
             return 2
+        if args.inputs.count("-") > 1:
+            out.write("error: stdin ('-') can appear at most once\n")
+            return 2
         store = ObservatoryStore(args.store)
         failures = 0
         with telemetry.span("observe.ingest", inputs=len(args.inputs)):
             for path in args.inputs:
                 try:
-                    result = ingest_path(
-                        store, path, run_id=args.run_id,
-                        git_sha=args.git_sha, scale=args.scale,
-                        top_k=args.top_k,
-                    )
+                    if path == "-":
+                        # pipe mode: clients stream an artefact without a
+                        # temp file (the service's inline-ingest sibling)
+                        result = ingest_bytes(
+                            store, sys.stdin.buffer.read(),
+                            run_id=args.run_id, git_sha=args.git_sha,
+                            scale=args.scale, top_k=args.top_k,
+                        )
+                    else:
+                        result = ingest_path(
+                            store, path, run_id=args.run_id,
+                            git_sha=args.git_sha, scale=args.scale,
+                            top_k=args.top_k,
+                        )
                 except (ValueError, OSError) as error:
                     out.write(f"error: {error}\n")
                     failures += 1
@@ -594,6 +664,68 @@ def _cmd_observe(args, out) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _cmd_serve(args, out) -> int:
+    from .service import ProfileServer
+
+    server = ProfileServer(
+        args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        capacity=args.capacity,
+        retries=args.retries,
+        timeout=args.job_timeout,
+        drain_timeout=args.drain_timeout,
+    )
+    host, port = server.start()
+    try:
+        server.install_signal_handlers()
+    except ValueError:
+        pass        # not the main thread (tests drive shutdown directly)
+    out.write(f"serving on {host}:{port} (root {args.root}, "
+              f"{args.workers} worker(s), queue capacity {args.capacity})\n")
+    out.write("stop with SIGTERM/SIGINT for a graceful drain\n")
+    if hasattr(out, "flush"):
+        out.flush()     # line-oriented consumers (CI smoke) parse the port
+    with telemetry.span("serve", root=args.root):
+        drained = server.serve_forever()
+    depth = server.queue.depth()
+    out.write(f"shutdown: {'drained' if drained else 'drain timed out'} "
+              f"({depth} job(s) abandoned)\n")
+    return 0 if drained else 1
+
+
+def _cmd_slap(args, out) -> int:
+    from .service import build_envelope, slap
+
+    if args.clients < 1 or args.uploads < 1:
+        out.write("error: --clients and --uploads must be >= 1\n")
+        return 2
+    with telemetry.span("slap", clients=args.clients, uploads=args.uploads):
+        try:
+            report = slap(
+                args.host, args.port, tenant=args.tenant,
+                clients=args.clients, uploads_per_client=args.uploads,
+                duplicate_ratio=args.duplicate_ratio, seed=args.seed,
+                wait=args.wait,
+            )
+        except OSError as error:
+            out.write(f"error: cannot reach {args.host}:{args.port} "
+                      f"({error})\n")
+            return 2
+    out.write(report.render())
+    if args.json:
+        import json as json_module
+
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json_module.dump(build_envelope(report), stream, indent=2,
+                             sort_keys=True)
+            stream.write("\n")
+        out.write(f"wrote repro-bench/1 envelope to {args.json}\n")
+    # a swarm that lost every upload is a failed run, not a report
+    return 0 if report.latencies_ms else 1
+
+
 def _cmd_stats(args, out) -> int:
     from .reporting import render_telemetry_dashboard, render_telemetry_html
     from .telemetry import TelemetryRun
@@ -635,6 +767,10 @@ def _dispatch(args, out) -> int:
         return _cmd_diff(args, out)
     if args.command == "observe":
         return _cmd_observe(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "slap":
+        return _cmd_slap(args, out)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

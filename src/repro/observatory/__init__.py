@@ -31,6 +31,8 @@ from .dashboards import (
 from .drift import Changepoint, DriftAlert, RoutineTrajectory, detect_drift, trajectories
 from .ingest import (
     IngestResult,
+    artefact_suffix,
+    ingest_bytes,
     ingest_path,
     record_from_envelope,
     record_from_farm_stats,
@@ -39,6 +41,7 @@ from .ingest import (
 )
 from .store import (
     HISTORY_FILENAME,
+    LOCK_FILENAME,
     STORE_SCHEMA,
     CurveRecord,
     CurveRow,
@@ -57,12 +60,15 @@ __all__ = [
     "detect_drift",
     "trajectories",
     "IngestResult",
+    "artefact_suffix",
+    "ingest_bytes",
     "ingest_path",
     "record_from_envelope",
     "record_from_farm_stats",
     "record_from_profile_db",
     "record_from_telemetry",
     "HISTORY_FILENAME",
+    "LOCK_FILENAME",
     "STORE_SCHEMA",
     "CurveRecord",
     "CurveRow",

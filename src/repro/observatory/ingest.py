@@ -21,6 +21,14 @@ builders are the library API (``tools/bench_gate.py`` and tests use
 them directly).  Ingestion is idempotent by run id: the default run id
 of a file is a digest of its bytes, so re-ingesting the same artefact
 is always a no-op.
+
+Two extensions serve the profiling service (:mod:`repro.service`):
+v2 **binary traces** ingest too — the farm engine analyses them
+server-side (``analyze_file``) and the resulting profile is fitted
+like any dump — and :func:`ingest_bytes` ingests an in-memory artefact
+(a stdin pipe, a wire upload) by spooling it to a scratch file whose
+suffix :func:`artefact_suffix` picks so the sniffing stays identical
+to the on-disk path.
 """
 
 from __future__ import annotations
@@ -43,6 +51,8 @@ __all__ = [
     "record_from_farm_stats",
     "record_from_telemetry",
     "record_from_envelope",
+    "artefact_suffix",
+    "ingest_bytes",
     "ingest_path",
 ]
 
@@ -58,7 +68,7 @@ class IngestResult(NamedTuple):
     """Outcome of ingesting one source."""
 
     run_id: str
-    source: str          #: profile | farm | telemetry | bench
+    source: str          #: profile | trace | farm | telemetry | bench
     ingested: bool       #: False = run_id already present (idempotent skip)
     detail: str
 
@@ -268,13 +278,27 @@ def ingest_path(
     """Sniff ``path`` and ingest it; see the module docstring.
 
     Accepts a ``repro-profile 1`` dump, a ``repro profile --dump`` TSV
-    point file, a ``telemetry.jsonl`` file (or a run directory holding
-    one), or a ``repro-bench/1`` JSON envelope.  Raises ``ValueError``
-    on anything else, ``OSError`` on unreadable paths.
+    point file, a v2 binary trace (analysed inline through the farm
+    engine first), a ``telemetry.jsonl`` file (or a run directory
+    holding one), or a ``repro-bench/1`` JSON envelope.  Raises
+    ``ValueError`` on anything else, ``OSError`` on unreadable paths.
     """
-    from ..farm import is_profile_dump, load_profile
+    from ..farm import is_binary_trace, is_profile_dump, load_profile
 
-    if _looks_like_telemetry(path):
+    if not os.path.isdir(path) and is_binary_trace(path):
+        from ..farm import analyze_file
+
+        result = analyze_file(path, jobs=1)
+        record = record_from_profile_db(
+            result.db,
+            run_id=run_id or _digest_run_id(path),
+            git_sha=git_sha,
+            timestamp=timestamp or _mtime_iso(path),
+            scale=scale,
+            source="trace",
+            top_k=top_k,
+        )
+    elif _looks_like_telemetry(path):
         from ..telemetry import TelemetryRun, resolve_log_path
 
         log_path = resolve_log_path(path) if os.path.isdir(path) else path
@@ -330,3 +354,71 @@ def ingest_path(
               if record.curves or record.points
               else f"{len(record.metrics)} metric(s)")
     return IngestResult(record.run_id, record.source, ingested, detail)
+
+
+# -- in-memory artefacts -----------------------------------------------------
+
+
+def artefact_suffix(data: bytes) -> str:
+    """The spool-file suffix under which ``data`` sniffs like itself.
+
+    The sniffers above look at file *content* except for two cases
+    that go by name: ``telemetry.jsonl`` logs (``.jsonl``) and
+    ``repro-bench/1`` envelopes (``.json``).  Picking the suffix from
+    the bytes lets :func:`ingest_bytes` (stdin pipes, wire uploads)
+    reuse :func:`ingest_path` unchanged.
+    """
+    from ..farm.binfmt import BINARY_MAGIC
+
+    if data.startswith(BINARY_MAGIC):
+        return ".rpt2"
+    head = data[:4096].decode("utf-8", errors="replace")
+    first = head.split("\n", 1)[0].strip()
+    if first:
+        try:
+            record = json.loads(first)
+        except ValueError:
+            record = None
+        if isinstance(record, dict):
+            if record.get("type") in ("meta", "span", "heartbeat",
+                                      "metrics", "event"):
+                return ".jsonl"
+            return ".json"
+    return ".profile"
+
+
+def ingest_bytes(
+    store: ObservatoryStore,
+    data: bytes,
+    run_id: Optional[str] = None,
+    git_sha: str = "",
+    timestamp: str = "",
+    scale: float = 0.0,
+    top_k: int = DEFAULT_TOP_K,
+) -> IngestResult:
+    """Ingest an in-memory artefact (same sniffing as :func:`ingest_path`).
+
+    Spools ``data`` to a scratch file and delegates; the default run id
+    is the digest of ``data`` — identical to what ingesting the same
+    bytes from a file would assign, so online (wire/stdin) and offline
+    (path) ingestion of one artefact are idempotent against each other.
+    No timestamp is inferred (a spool file's mtime is meaningless);
+    pass the artefact's own ``timestamp`` when ordering matters.
+    """
+    import tempfile
+
+    handle, path = tempfile.mkstemp(prefix="repro-ingest-",
+                                    suffix=artefact_suffix(data))
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        return ingest_path(
+            store, path,
+            run_id=run_id,
+            git_sha=git_sha,
+            timestamp=timestamp or "-",
+            scale=scale,
+            top_k=top_k,
+        )
+    finally:
+        os.unlink(path)

@@ -37,10 +37,16 @@ cost plot of the top-K routines by total cost.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from datetime import datetime, timezone
 from typing import Dict, List, NamedTuple, Optional, Tuple
+
+try:                                    # POSIX advisory file locks
+    import fcntl
+except ImportError:                     # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from ..curvefit.models import model_by_name
 from ..minidb import Database
@@ -49,6 +55,7 @@ from ..pytrace.api import TraceSession
 __all__ = [
     "STORE_SCHEMA",
     "HISTORY_FILENAME",
+    "LOCK_FILENAME",
     "CurveRecord",
     "RunRecord",
     "RunInfo",
@@ -58,6 +65,9 @@ __all__ = [
 
 STORE_SCHEMA = "repro-observatory/1"
 HISTORY_FILENAME = "history.jsonl"
+#: advisory lock serialising appends against gc compaction (see
+#: :meth:`ObservatoryStore._locked`)
+LOCK_FILENAME = "history.lock"
 
 #: fixed-point scale for fractional columns (micro-units)
 _FP = 1_000_000
@@ -219,6 +229,29 @@ class ObservatoryStore:
 
     # -- log ---------------------------------------------------------------
 
+    @contextlib.contextmanager
+    def _locked(self):
+        """Hold the store's advisory file lock (``history.lock``).
+
+        ``gc`` swaps ``history.jsonl`` out from under concurrent
+        writers (atomic-replace compaction); an append racing the swap
+        would land on the *old* inode and be lost, and a reader could
+        observe a half-rebuilt engine.  Every append and the whole gc
+        critical section therefore take an exclusive ``flock`` on a
+        sidecar lock file — advisory (cooperating processes only), so
+        plain reads of the JSONL stay lock-free.  On platforms without
+        ``fcntl`` the lock degrades to a no-op.
+        """
+        if fcntl is None:               # pragma: no cover - non-POSIX
+            yield
+            return
+        with open(os.path.join(self.root, LOCK_FILENAME), "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def _replay(self) -> None:
         if not os.path.exists(self.path):
             with open(self.path, "w", encoding="utf-8") as stream:
@@ -238,10 +271,11 @@ class ObservatoryStore:
 
     def _append(self, record: RunRecord) -> None:
         payload = _record_to_json(record)
-        with open(self.path, "a", encoding="utf-8") as stream:
-            stream.write(json.dumps(payload, sort_keys=True) + "\n")
-            stream.flush()
-            os.fsync(stream.fileno())
+        with self._locked():
+            with open(self.path, "a", encoding="utf-8") as stream:
+                stream.write(json.dumps(payload, sort_keys=True) + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
 
     # -- writes ------------------------------------------------------------
 
@@ -375,32 +409,37 @@ class ObservatoryStore:
         """Keep only the newest ``keep`` runs; returns how many were dropped.
 
         Compacts ``history.jsonl`` (atomic replace) and rebuilds the
-        engine from the survivors.
+        engine from the survivors.  The whole critical section holds
+        the store's advisory lock, so a concurrent ingest (another
+        cooperating process, or the profiling service's workers) can
+        never append to the about-to-be-replaced log or observe the
+        half-rebuilt engine.
         """
         if keep < 0:
             raise ValueError("keep must be >= 0")
-        ordered = self.runs()
-        victims = ordered[:-keep] if keep else ordered
-        if not victims:
-            return 0
-        victim_seqs = {info.seq for info in victims}
-        survivors = [record for seq, record in enumerate(self._records)
-                     if seq not in victim_seqs]
-        scratch = self.path + ".compact"
-        with open(scratch, "w", encoding="utf-8") as stream:
-            stream.write(json.dumps({"type": "meta", "schema": STORE_SCHEMA}) + "\n")
+        with self._locked():
+            ordered = self.runs()
+            victims = ordered[:-keep] if keep else ordered
+            if not victims:
+                return 0
+            victim_seqs = {info.seq for info in victims}
+            survivors = [record for seq, record in enumerate(self._records)
+                         if seq not in victim_seqs]
+            scratch = self.path + ".compact"
+            with open(scratch, "w", encoding="utf-8") as stream:
+                stream.write(json.dumps({"type": "meta", "schema": STORE_SCHEMA}) + "\n")
+                for record in survivors:
+                    stream.write(json.dumps(_record_to_json(record), sort_keys=True) + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(scratch, self.path)
+            self._names = []
+            self._ids = {}
+            self._run_seq = {}
+            self._records = []
+            self._engine = self._new_engine()
             for record in survivors:
-                stream.write(json.dumps(_record_to_json(record), sort_keys=True) + "\n")
-            stream.flush()
-            os.fsync(stream.fileno())
-        os.replace(scratch, self.path)
-        self._names = []
-        self._ids = {}
-        self._run_seq = {}
-        self._records = []
-        self._engine = self._new_engine()
-        for record in survivors:
-            self._apply(record)
+                self._apply(record)
         return len(victims)
 
     def close(self) -> None:

@@ -1,0 +1,532 @@
+"""The long-lived ingestion server behind ``repro serve``.
+
+A thread-per-client TCP server (the architecture
+:mod:`repro.minidb.protocol` models in miniature, here over real
+sockets) that turns the one-shot observatory CLI into
+profiling-as-a-service:
+
+* **write side** — ``put`` uploads any artefact the observatory
+  ingests (``repro-profile 1`` dumps, TSV point dumps, v2 binary
+  traces, ``telemetry.jsonl`` logs, ``repro-bench/1`` envelopes).
+  Uploads are spooled, acknowledged, and analysed *asynchronously* by
+  the bounded :class:`~repro.service.jobs.JobQueue` — the client pays
+  for a socket write, never for a farm analysis or a curve fit.
+  Duplicate uploads are rejected at the door by content digest
+  (idempotent ingest, before any analysis), and a full queue pushes
+  back instead of buffering without bound;
+* **read side** — ``runs`` / ``alerts`` / ``report`` / ``stats`` serve
+  the run history, the drift-alert feed and the fleet dashboards
+  (JSON, ASCII or HTML) straight from the per-tenant stores;
+* **tenancy** — every operation names a tenant; each tenant owns an
+  isolated store under ``<root>/<tenant>/``
+  (:mod:`repro.service.tenants`);
+* **self-observation** — queue depth, jobs in flight, ingest latency
+  histograms and per-op request counters land in the server's own
+  metrics registry (the ``stats`` op returns a snapshot) and mirror
+  into the process telemetry when ``--telemetry`` is live;
+* **lifecycle** — ``start`` binds, ``serve_forever`` accepts until a
+  shutdown is requested; SIGTERM/SIGINT (or the ``shutdown`` op) stop
+  intake, drain queued and in-flight jobs to completion (bounded by
+  ``drain_timeout``), then close the stores.
+
+The same port also answers plain HTTP ``GET`` (sniffed from the first
+bytes): ``/`` (tenant index), ``/stats`` (JSON), ``/<tenant>`` (HTML
+dashboard), ``/<tenant>/report|alerts|runs`` — so a browser can watch
+a store the wire protocol feeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import socket
+import threading
+from typing import Dict, Optional, Tuple
+
+from .. import telemetry
+from ..observatory import artefact_suffix, detect_drift, ingest_path
+from ..telemetry.registry import MetricsRegistry
+from .jobs import DONE, FAILED, Job, JobQueue, QueueClosed, QueueFull
+from .tenants import DEFAULT_TENANT, TenantError, TenantManager, validate_tenant
+from .wire import WireError, recv_frame, send_frame
+
+__all__ = ["ProfileServer"]
+
+#: ops a request header may name
+_OPS = ("ping", "put", "job", "runs", "alerts", "report", "stats",
+        "tenants", "shutdown")
+
+
+class ProfileServer:
+    """One always-on ingestion server over one tenant root directory."""
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        capacity: int = 64,
+        retries: int = 1,
+        timeout: Optional[float] = None,
+        drain_timeout: float = 30.0,
+        top_k: int = 10,
+    ):
+        self.root = root
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self.top_k = top_k
+        self.tenants = TenantManager(root)
+        self.registry = MetricsRegistry()
+        self.queue = JobQueue(
+            self._execute, workers=workers, capacity=capacity,
+            retries=retries, timeout=timeout, observer=self._observe,
+        )
+        self._listener: Optional[socket.socket] = None
+        self._shutdown = threading.Event()
+        self._drained = threading.Event()
+        self._clients_lock = threading.Lock()
+        self._clients: Dict[int, socket.socket] = {}
+        self._client_seq = 0
+
+    # -- metrics -------------------------------------------------------------
+
+    def _bump(self, name: str, amount: int = 1, **labels) -> None:
+        self.registry.counter(name, **labels).inc(amount)
+        telemetry.counter(name, **labels).inc(amount)
+
+    def _gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+        telemetry.gauge(name).set(value)
+
+    def _observe_ms(self, name: str, milliseconds: float, **labels) -> None:
+        self.registry.histogram(name, **labels).observe(milliseconds)
+        telemetry.histogram(name, **labels).observe(milliseconds)
+
+    def _observe(self, what: str, job: Job) -> None:
+        """Queue observer: gauges, outcome counters, spool cleanup."""
+        self._gauge("service.queue.depth", self.queue.depth())
+        self._gauge("service.jobs.in_flight", self.queue.in_flight())
+        if what == "retry":
+            self._bump("service.jobs.retries")
+            return
+        if what not in (DONE, FAILED):
+            return
+        self._bump(f"service.jobs.{what}")
+        if job.started_at is not None and job.finished_at is not None:
+            self._observe_ms("service.ingest_ms",
+                             (job.finished_at - job.started_at) * 1000.0,
+                             tenant=job.tenant)
+        if job.path:
+            try:
+                os.unlink(job.path)
+            except OSError:
+                pass
+
+    # -- job execution (worker threads) --------------------------------------
+
+    def _execute(self, job: Job) -> Dict:
+        params = job.params
+        with self.tenants.lock(job.tenant):
+            store = self.tenants.store(job.tenant)
+            result = ingest_path(
+                store, job.path,
+                run_id=params.get("run_id"),
+                git_sha=params.get("git_sha") or "",
+                timestamp=params.get("timestamp") or "-",
+                scale=float(params.get("scale") or 0.0),
+                top_k=int(params.get("top_k") or self.top_k),
+            )
+        if not result.ingested:
+            self._bump("service.uploads.duplicate")
+        return {
+            "run_id": result.run_id,
+            "source": result.source,
+            "ingested": result.ingested,
+            "detail": result.detail,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and start accepting in a background thread."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        thread = threading.Thread(target=self._accept_loop, daemon=True,
+                                  name="service-accept")
+        thread.start()
+        self._accept_thread = thread
+        return self.host, self.port
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger a graceful drain (main thread only)."""
+        def handler(signum, frame):  # noqa: ARG001
+            self.request_shutdown()
+
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+
+    def request_shutdown(self) -> None:
+        """Flip the shutdown flag and wake the accept loop (idempotent)."""
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def serve_forever(self) -> bool:
+        """Block until shutdown is requested, then drain; True iff drained."""
+        self._shutdown.wait()
+        return self._finish()
+
+    def _finish(self) -> bool:
+        drained = self.queue.drain(self.drain_timeout)
+        self._drained.set()
+        with self._clients_lock:
+            sockets = list(self._clients.values())
+            self._clients.clear()
+        for sock in sockets:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self.tenants.close()
+        return drained
+
+    def stop(self) -> bool:
+        """Request shutdown and drain synchronously (the test path)."""
+        self.request_shutdown()
+        if self._drained.is_set():
+            return True
+        return self._finish()
+
+    # -- accept / per-client loops -------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        if listener is None:
+            return
+        while not self._shutdown.is_set():
+            try:
+                sock, _address = listener.accept()
+            except OSError:
+                return              # listener closed: shutting down
+            with self._clients_lock:
+                self._client_seq += 1
+                client_id = self._client_seq
+                self._clients[client_id] = sock
+            thread = threading.Thread(
+                target=self._serve_client, args=(sock, client_id),
+                daemon=True, name=f"service-client-{client_id}",
+            )
+            thread.start()
+
+    def _forget(self, client_id: int) -> None:
+        with self._clients_lock:
+            self._clients.pop(client_id, None)
+
+    def _serve_client(self, sock: socket.socket, client_id: int) -> None:
+        try:
+            kind = self._peek_kind(sock)
+            if kind == "http":
+                self._serve_http(sock)
+                return
+            while not self._shutdown.is_set():
+                try:
+                    frame = recv_frame(sock, eof_ok=True)
+                except WireError as error:
+                    self._bump("service.requests.malformed")
+                    self._reply_error(sock, str(error))
+                    return
+                if frame is None:
+                    return
+                header, payload = frame
+                if not self._handle(sock, header, payload):
+                    return
+        except OSError:
+            pass                    # client went away mid-conversation
+        finally:
+            self._forget(client_id)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _peek_kind(self, sock: socket.socket) -> str:
+        """``http`` when the first bytes spell a GET, else ``wire``."""
+        try:
+            head = sock.recv(4, socket.MSG_PEEK)
+        except OSError:
+            return "wire"
+        return "http" if head[:4] == b"GET " else "wire"
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _reply(self, sock: socket.socket, header: Dict,
+               payload: bytes = b"") -> None:
+        try:
+            send_frame(sock, header, payload)
+        except (OSError, WireError):
+            pass                    # client is gone; nothing to salvage
+
+    def _reply_error(self, sock: socket.socket, message: str, **extra) -> None:
+        self._reply(sock, {"ok": False, "error": message, **extra})
+
+    def _handle(self, sock: socket.socket, header: Dict,
+                payload: bytes) -> bool:
+        """Serve one request; False ends the connection."""
+        op = header.get("op")
+        if op not in _OPS:
+            self._bump("service.requests.malformed")
+            self._reply_error(sock, f"unknown op {op!r}")
+            return True
+        self._bump("service.requests", op=op)
+        try:
+            handler = getattr(self, f"_op_{op}")
+            return handler(sock, header, payload)
+        except TenantError as error:
+            self._reply_error(sock, str(error))
+            return True
+        except Exception as error:  # noqa: BLE001 - connection boundary
+            self._reply_error(
+                sock, f"internal error: {type(error).__name__}: {error}")
+            return True
+
+    def _tenant_of(self, header: Dict) -> str:
+        return validate_tenant(str(header.get("tenant") or DEFAULT_TENANT))
+
+    def _op_ping(self, sock, header, payload) -> bool:
+        self._reply(sock, {"ok": True, "op": "ping"})
+        return True
+
+    def _op_shutdown(self, sock, header, payload) -> bool:
+        self._reply(sock, {"ok": True, "op": "shutdown",
+                           "draining": self.queue.depth()
+                           + self.queue.in_flight()})
+        self.request_shutdown()
+        return False
+
+    def _op_put(self, sock, header, payload) -> bool:
+        tenant = self._tenant_of(header)
+        if not payload:
+            self._bump("service.uploads.rejected", reason="empty")
+            self._reply_error(sock, "empty upload payload")
+            return True
+        digest = hashlib.sha256(payload).hexdigest()[:32]
+        run_id = str(header.get("run_id") or "") or digest
+        with self.tenants.lock(tenant):
+            known = self.tenants.store(tenant).has_run(run_id)
+        if known:
+            # Arafa-style redundancy suppression at the door: the
+            # duplicate never reaches the spool, the queue or a worker.
+            self._bump("service.uploads.duplicate")
+            self._reply(sock, {"ok": True, "op": "put", "tenant": tenant,
+                               "run_id": run_id, "status": "duplicate",
+                               "duplicate": True})
+            return True
+        job_id = self.queue.next_job_id()
+        spool_dir = os.path.join(self.tenants.path(tenant), "spool")
+        os.makedirs(spool_dir, exist_ok=True)
+        path = os.path.join(
+            spool_dir, f"{job_id}-{digest[:8]}{artefact_suffix(payload)}")
+        with open(path, "wb") as stream:
+            stream.write(payload)
+        job = Job(job_id, tenant, "ingest", path=path, params={
+            "run_id": run_id if header.get("run_id") else None,
+            "git_sha": str(header.get("git_sha") or ""),
+            "timestamp": str(header.get("timestamp") or ""),
+            "scale": float(header.get("scale") or 0.0),
+            "top_k": int(header.get("top_k") or self.top_k),
+        })
+        try:
+            self.queue.submit(job)
+        except (QueueFull, QueueClosed) as error:
+            os.unlink(path)
+            reason = ("draining" if isinstance(error, QueueClosed)
+                      else "queue_full")
+            self._bump("service.uploads.rejected", reason=reason)
+            self._reply_error(sock, str(error), status="rejected",
+                              reason=reason)
+            return True
+        self._gauge("service.queue.depth", self.queue.depth())
+        self._bump("service.uploads.accepted")
+        if header.get("wait"):
+            # inline mode: block this client thread until the job is
+            # terminal (workers still do the analysis)
+            wait = header.get("wait_timeout")
+            job.done_event.wait(None if wait is None else float(wait))
+        self._reply(sock, {"ok": True, "op": "put", "tenant": tenant,
+                           "run_id": job.result.get("run_id", run_id)
+                           if job.result else run_id,
+                           "duplicate": bool(job.result
+                                             and not job.result["ingested"]),
+                           **job.snapshot()})
+        return True
+
+    def _op_job(self, sock, header, payload) -> bool:
+        job = self.queue.status(str(header.get("job") or ""))
+        if job is None:
+            self._reply_error(sock, f"unknown job {header.get('job')!r}")
+            return True
+        self._reply(sock, {"ok": True, "op": "job", **job.snapshot()})
+        return True
+
+    def _op_runs(self, sock, header, payload) -> bool:
+        tenant = self._tenant_of(header)
+        with self.tenants.lock(tenant):
+            store = self.tenants.store(tenant)
+            runs = [info._asdict() for info in store.runs()]
+        self._reply(sock, {"ok": True, "op": "runs", "tenant": tenant,
+                           "runs": runs})
+        return True
+
+    def _op_alerts(self, sock, header, payload) -> bool:
+        tenant = self._tenant_of(header)
+        tolerance = float(header.get("tolerance") or 1.30)
+        with self.tenants.lock(tenant):
+            store = self.tenants.store(tenant)
+            alerts = detect_drift(store, tolerance=tolerance)
+        body = b""
+        if header.get("format") == "ascii":
+            from ..observatory import render_alert_feed
+
+            body = render_alert_feed(alerts).encode("utf-8")
+        self._reply(sock, {"ok": True, "op": "alerts", "tenant": tenant,
+                           "alerts": [alert._asdict() for alert in alerts]},
+                    body)
+        return True
+
+    def _op_report(self, sock, header, payload) -> bool:
+        from ..observatory import render_observatory_html, render_observatory_report
+
+        tenant = self._tenant_of(header)
+        tolerance = float(header.get("tolerance") or 1.30)
+        fmt = str(header.get("format") or "ascii")
+        if fmt not in ("ascii", "html"):
+            self._reply_error(sock, f"unknown report format {fmt!r}")
+            return True
+        with self.tenants.lock(tenant):
+            store = self.tenants.store(tenant)
+            if fmt == "html":
+                body = render_observatory_html(
+                    store, tolerance=tolerance,
+                    title=f"profile observatory: {tenant}")
+            else:
+                body = render_observatory_report(
+                    store, tolerance=tolerance,
+                    limit=int(header.get("limit") or 20))
+        self._reply(sock, {"ok": True, "op": "report", "tenant": tenant,
+                           "format": fmt}, body.encode("utf-8"))
+        return True
+
+    def _op_stats(self, sock, header, payload) -> bool:
+        self._reply(sock, {"ok": True, "op": "stats", **self.stats()})
+        return True
+
+    def _op_tenants(self, sock, header, payload) -> bool:
+        self._reply(sock, {"ok": True, "op": "tenants",
+                           "tenants": self.tenants.tenants()})
+        return True
+
+    def stats(self) -> Dict:
+        """The server's self-metrics (also the ``stats`` op body)."""
+        return {
+            "queue_depth": self.queue.depth(),
+            "jobs_in_flight": self.queue.in_flight(),
+            "tenants": self.tenants.tenants(),
+            "draining": self._shutdown.is_set(),
+            "metrics": self.registry.snapshot(),
+        }
+
+    # -- read-only HTTP fallback ---------------------------------------------
+
+    def _serve_http(self, sock: socket.socket) -> None:
+        """One-shot ``GET`` handler on the same port (browser dashboards)."""
+        self._bump("service.requests", op="http")
+        data = b""
+        while b"\r\n\r\n" not in data and b"\n\n" not in data:
+            chunk = sock.recv(4096)
+            if not chunk or len(data) > (1 << 16):
+                break
+            data += chunk
+        try:
+            target = data.split(None, 2)[1].decode("utf-8", "replace")
+        except IndexError:
+            self._http_reply(sock, 400, "text/plain", b"bad request")
+            return
+        try:
+            status, ctype, body = self._http_route(target.split("?", 1)[0])
+        except TenantError as error:
+            status, ctype, body = 404, "text/plain", str(error).encode()
+        except Exception as error:  # noqa: BLE001 - connection boundary
+            status, ctype, body = (500, "text/plain",
+                                   f"internal error: {error}".encode())
+        self._http_reply(sock, status, ctype, body)
+
+    def _http_route(self, path: str) -> Tuple[int, str, bytes]:
+        from ..observatory import render_observatory_html, render_observatory_report
+
+        if path in ("/", ""):
+            rows = "".join(
+                f'<li><a href="/{name}">{name}</a> '
+                f'(<a href="/{name}/alerts">alerts</a>, '
+                f'<a href="/{name}/runs">runs</a>)</li>'
+                for name in self.tenants.tenants())
+            body = (f"<!DOCTYPE html><title>repro service</title>"
+                    f"<h1>profile observatory service</h1>"
+                    f"<ul>{rows or '<li>(no tenants yet)</li>'}</ul>"
+                    f'<p><a href="/stats">server stats</a></p>')
+            return 200, "text/html; charset=utf-8", body.encode("utf-8")
+        if path == "/stats":
+            return (200, "application/json",
+                    json.dumps(self.stats(), sort_keys=True).encode("utf-8"))
+        parts = [part for part in path.split("/") if part]
+        tenant = validate_tenant(parts[0])
+        view = parts[1] if len(parts) > 1 else "html"
+        with self.tenants.lock(tenant):
+            store = self.tenants.store(tenant)
+            if view == "html":
+                return (200, "text/html; charset=utf-8",
+                        render_observatory_html(
+                            store, title=f"profile observatory: {tenant}"
+                        ).encode("utf-8"))
+            if view == "report":
+                return (200, "text/plain; charset=utf-8",
+                        render_observatory_report(store).encode("utf-8"))
+            if view == "alerts":
+                alerts = [alert._asdict() for alert in detect_drift(store)]
+                return (200, "application/json",
+                        json.dumps(alerts, sort_keys=True).encode("utf-8"))
+            if view == "runs":
+                runs = [info._asdict() for info in store.runs()]
+                return (200, "application/json",
+                        json.dumps(runs, sort_keys=True).encode("utf-8"))
+        return 404, "text/plain", f"no such view {view!r}".encode("utf-8")
+
+    def _http_reply(self, sock: socket.socket, status: int, ctype: str,
+                    body: bytes) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  500: "Internal Server Error"}.get(status, "OK")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("utf-8")
+        try:
+            sock.sendall(head + body)
+        except OSError:
+            pass

@@ -1,0 +1,232 @@
+"""minislap for the service: a concurrent upload swarm (``repro slap``).
+
+The paper's MySQL experiments drive the server with mysqlslap;
+:mod:`repro.minidb.slap` replays that against the in-process mini
+database.  This module is the same idea against the *real* network
+service: ``clients`` threads each open a :class:`ServiceClient` and
+fire ``uploads`` artefacts at the server as fast as it acknowledges
+them, measuring what a producer of profiling data actually pays — the
+wall-clock latency of one ``put`` round trip (spool + enqueue, never
+the analysis).
+
+A configurable fraction of uploads are deliberate re-sends of an
+earlier artefact, so the run also exercises (and counts) the server's
+at-the-door duplicate rejection.  The report reduces to p50/p95/p99
+upload latencies, throughput, and accepted/duplicate/rejected tallies;
+:func:`build_envelope` wraps it as a ``repro-bench/1`` envelope whose
+``gate.latency_ms`` section ``tools/bench_gate.py`` gates on — the
+service is itself a benchmarked workload under the regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .client import ServiceClient, ServiceError
+
+__all__ = ["SlapReport", "slap", "synthetic_artefact", "build_envelope"]
+
+SLAP_BENCH_NAME = "service_slap"
+
+
+class SlapReport:
+    """What a slap run did: tallies plus the full latency sample."""
+
+    def __init__(self, clients: int, uploads_per_client: int):
+        self.clients = clients
+        self.uploads_per_client = uploads_per_client
+        self.accepted = 0
+        self.duplicates = 0
+        self.rejected = 0          #: pushed back (queue full / draining)
+        self.errors = 0            #: transport failures
+        self.latencies_ms: List[float] = []
+        self.wall_seconds = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def uploads(self) -> int:
+        return self.clients * self.uploads_per_client
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the upload latency (ms)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(fraction * len(ordered) + 0.5)) - 1))
+        return ordered[rank]
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def uploads_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.latencies_ms) / self.wall_seconds
+
+    def render(self) -> str:
+        """The human report ``repro slap`` prints."""
+        lines = [
+            f"slap: {self.clients} client(s) x {self.uploads_per_client} "
+            f"upload(s) in {self.wall_seconds:.3f}s "
+            f"({self.uploads_per_second:.0f} uploads/s)",
+            f"  accepted   {self.accepted}",
+            f"  duplicate  {self.duplicates} (rejected at the door)",
+            f"  rejected   {self.rejected} (queue pushback)",
+            f"  errors     {self.errors}",
+            f"  latency ms p50 {self.p50_ms:.2f}  p95 {self.p95_ms:.2f}  "
+            f"p99 {self.p99_ms:.2f}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def synthetic_artefact(rng: random.Random, index: int, tag: str) -> bytes:
+    """One unique, cheap-to-ingest ``repro-bench/1`` envelope."""
+    envelope = {
+        "schema": "repro-bench/1",
+        "run_id": f"slap-{tag}-{index}-{rng.randrange(1 << 30):08x}",
+        "bench": "slap-upload",
+        "scale": 1.0,
+        "metrics": {"payload": rng.randrange(1 << 16), "index": index},
+    }
+    return (json.dumps(envelope) + "\n").encode("utf-8")
+
+
+def _client_worker(
+    host: str, port: int, tenant: str, client_id: int, uploads: int,
+    duplicate_ratio: float, seed: int, report: SlapReport,
+    barrier: threading.Barrier, wait: bool,
+) -> None:
+    rng = random.Random(seed)
+    artefacts = [synthetic_artefact(rng, index, f"{seed}-{client_id}")
+                 for index in range(uploads)]
+    sent: List[bytes] = []
+    latencies: List[float] = []
+    accepted = duplicates = rejected = errors = 0
+    try:
+        client = ServiceClient(host, port, tenant=tenant)
+    except OSError:
+        with report._lock:
+            report.errors += uploads
+        barrier.wait()
+        return
+    barrier.wait()          # all clients connect first, then fire together
+    try:
+        for artefact in artefacts:
+            if sent and rng.random() < duplicate_ratio:
+                artefact = rng.choice(sent)     # deliberate duplicate
+            started = time.perf_counter()
+            try:
+                reply = client.put_bytes(artefact, wait=wait)
+            except ServiceError as error:
+                if error.header.get("status") == "rejected":
+                    rejected += 1
+                else:
+                    errors += 1
+                continue
+            except OSError:
+                errors += 1
+                break
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            if reply.get("duplicate") or reply.get("status") == "duplicate":
+                duplicates += 1
+            else:
+                accepted += 1
+                sent.append(artefact)
+    finally:
+        client.close()
+        with report._lock:
+            report.accepted += accepted
+            report.duplicates += duplicates
+            report.rejected += rejected
+            report.errors += errors
+            report.latencies_ms.extend(latencies)
+
+
+def slap(
+    host: str,
+    port: int,
+    tenant: str = "slap",
+    clients: int = 8,
+    uploads_per_client: int = 16,
+    duplicate_ratio: float = 0.1,
+    seed: int = 101,
+    wait: bool = False,
+) -> SlapReport:
+    """Run the swarm; returns the filled :class:`SlapReport`."""
+    report = SlapReport(clients, uploads_per_client)
+    barrier = threading.Barrier(clients + 1)
+    threads = []
+    for client_id in range(clients):
+        thread = threading.Thread(
+            target=_client_worker,
+            args=(host, port, tenant, client_id, uploads_per_client,
+                  duplicate_ratio, seed + client_id, report, barrier, wait),
+            name=f"slap-client-{client_id}",
+            daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+    barrier.wait()          # release the swarm
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def build_envelope(
+    report: SlapReport,
+    run_id: Optional[str] = None,
+    git_sha: str = "",
+    timestamp: str = "",
+) -> Dict:
+    """The slap run as a ``repro-bench/1`` envelope for the bench gate.
+
+    ``gate.latency_ms`` carries the p99 upload latency — the gate fails
+    when it *grows* past tolerance (latency gates are inverted relative
+    to ratio gates); ``gate.throughput`` carries uploads/s, gated only
+    under ``--absolute`` like every machine-bound number.
+    """
+    return {
+        "schema": "repro-bench/1",
+        "run_id": run_id or f"slap-{int(time.time() * 1000):x}",
+        "git_sha": git_sha,
+        "timestamp": timestamp,
+        "bench": SLAP_BENCH_NAME,
+        "scale": float(report.clients),
+        "metrics": {
+            "clients": report.clients,
+            "uploads_per_client": report.uploads_per_client,
+            "accepted": report.accepted,
+            "duplicates": report.duplicates,
+            "rejected": report.rejected,
+            "errors": report.errors,
+            "wall_seconds": report.wall_seconds,
+            "latency_ms": {
+                "p50": report.p50_ms,
+                "p95": report.p95_ms,
+                "p99": report.p99_ms,
+            },
+            "gate": {
+                "scale": float(report.clients),
+                "ratios": {},
+                "throughput": {"uploads_per_s": report.uploads_per_second},
+                "latency_ms": {"put_p99": report.p99_ms},
+            },
+        },
+    }

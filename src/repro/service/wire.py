@@ -1,0 +1,115 @@
+"""The ``repro-wire/1`` framing: length-prefixed request/response frames.
+
+The service speaks a deliberately small binary protocol over TCP, in
+the length-prefixed style of every production wire format (and of the
+packet buffer :mod:`repro.minidb.protocol` models in miniature)::
+
+    frame := magic(4) | header_len(u32) | payload_len(u32)
+             | header JSON (UTF-8) | payload bytes
+
+The **header** is a JSON object carrying the operation and its
+metadata (``{"op": "put", "tenant": "web", ...}`` on requests,
+``{"ok": true, ...}`` on responses); the **payload** is the raw
+artefact — a ``repro-profile 1`` dump, a v2 binary trace, a
+``telemetry.jsonl`` log or a ``repro-bench/1`` envelope on uploads, a
+rendered dashboard on query responses.  Splitting metadata from bytes
+keeps uploads cheap for clients: no base64, no re-encoding, the
+artefact travels verbatim and the server digests exactly the bytes the
+client read from disk (so content-digest run ids agree between online
+and offline ingestion).
+
+Both sides enforce hard size ceilings *before* allocating, so a
+malformed or hostile length prefix is an error, never an allocation:
+oversized or garbled frames raise :class:`WireError` and the server
+drops the connection after a best-effort error reply.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "MAGIC",
+    "MAX_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "WireError",
+    "send_frame",
+    "recv_frame",
+]
+
+WIRE_SCHEMA = "repro-wire/1"
+
+#: every frame starts with these four bytes; anything else is not ours
+MAGIC = b"RPW1"
+
+_PREFIX = struct.Struct("!4sII")
+
+#: ceilings enforced before any allocation happens
+MAX_HEADER_BYTES = 1 << 20          # 1 MiB of JSON metadata
+MAX_PAYLOAD_BYTES = 64 << 20        # 64 MiB artefact
+
+
+class WireError(Exception):
+    """A malformed, truncated or oversized frame."""
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    """Read exactly ``size`` bytes or raise :class:`WireError`."""
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            raise WireError(
+                f"connection closed mid-frame ({size - remaining}/{size} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, header: Dict, payload: bytes = b"") -> None:
+    """Send one frame: a JSON ``header`` plus an optional raw ``payload``."""
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise WireError(f"header too large ({len(header_bytes)} bytes)")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WireError(f"payload too large ({len(payload)} bytes)")
+    sock.sendall(_PREFIX.pack(MAGIC, len(header_bytes), len(payload))
+                 + header_bytes + payload)
+
+
+def recv_frame(sock: socket.socket,
+               eof_ok: bool = False) -> Optional[Tuple[Dict, bytes]]:
+    """Receive one frame; ``None`` on a clean EOF when ``eof_ok``.
+
+    Raises :class:`WireError` on a bad magic, an oversized length
+    prefix, a truncated frame, or a header that is not a JSON object.
+    """
+    first = sock.recv(1)
+    if not first:
+        if eof_ok:
+            return None
+        raise WireError("connection closed before a frame")
+    prefix = first + _recv_exact(sock, _PREFIX.size - 1)
+    magic, header_len, payload_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if header_len > MAX_HEADER_BYTES:
+        raise WireError(f"header length {header_len} exceeds "
+                        f"{MAX_HEADER_BYTES}")
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise WireError(f"payload length {payload_len} exceeds "
+                        f"{MAX_PAYLOAD_BYTES}")
+    header_bytes = _recv_exact(sock, header_len)
+    payload = _recv_exact(sock, payload_len) if payload_len else b""
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise WireError(f"unparseable frame header: {error}") from None
+    if not isinstance(header, dict):
+        raise WireError("frame header is not a JSON object")
+    return header, payload

@@ -1,0 +1,101 @@
+"""Regression: gc compaction takes the store's advisory file lock.
+
+Before the lock existed, ``gc`` atomically replaced ``history.jsonl``
+while a concurrent ingest (another cooperating process, or the
+profiling service's worker threads) could still append to the *old*
+inode — losing the run.  These tests pin the ``flock`` discipline:
+appends and the gc critical section exclude each other.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+fcntl = pytest.importorskip("fcntl")
+
+from repro.observatory import LOCK_FILENAME, record_from_profile_db  # noqa: E402
+
+from .util import db_from, seeded_store  # noqa: E402
+
+
+def hold_lock(root, held, release):
+    """Hold the store's lock file exclusively until ``release`` is set."""
+    with open(os.path.join(root, LOCK_FILENAME), "a+") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        held.set()
+        release.wait(10.0)
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def test_lock_file_exists_after_append(tmp_path):
+    store = seeded_store(tmp_path, [db_from({"f": lambda n: n})])
+    try:
+        assert os.path.exists(os.path.join(store.root, LOCK_FILENAME))
+    finally:
+        store.close()
+
+
+def test_gc_blocks_while_ingest_holds_the_lock(tmp_path):
+    store = seeded_store(
+        tmp_path,
+        [db_from({"f": lambda n: (index + 1) * n}) for index in range(3)],
+    )
+    try:
+        held = threading.Event()
+        release = threading.Event()
+        holder = threading.Thread(target=hold_lock,
+                                  args=(store.root, held, release))
+        holder.start()
+        assert held.wait(5.0)
+
+        finished_at = {}
+
+        def compact():
+            store.gc(keep=1)
+            finished_at["t"] = time.monotonic()
+
+        collector = threading.Thread(target=compact)
+        started = time.monotonic()
+        collector.start()
+        time.sleep(0.3)
+        assert "t" not in finished_at       # gc is blocked on the lock
+        release.set()
+        collector.join(timeout=10.0)
+        holder.join(timeout=10.0)
+        assert finished_at["t"] - started >= 0.3
+        assert len(store) == 1
+    finally:
+        store.close()
+
+
+def test_append_blocks_while_gc_style_lock_is_held(tmp_path):
+    store = seeded_store(tmp_path, [db_from({"f": lambda n: n})])
+    try:
+        held = threading.Event()
+        release = threading.Event()
+        holder = threading.Thread(target=hold_lock,
+                                  args=(store.root, held, release))
+        holder.start()
+        assert held.wait(5.0)
+
+        record = record_from_profile_db(
+            db_from({"g": lambda n: 2 * n}), run_id="late")
+        done = {}
+
+        def append():
+            store.add_run(record)
+            done["t"] = time.monotonic()
+
+        writer = threading.Thread(target=append)
+        writer.start()
+        time.sleep(0.3)
+        assert "t" not in done              # append waits for the lock
+        release.set()
+        writer.join(timeout=10.0)
+        holder.join(timeout=10.0)
+        assert "t" in done
+        assert store.has_run("late")
+    finally:
+        store.close()

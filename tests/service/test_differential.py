@@ -1,0 +1,135 @@
+"""The acceptance criterion: online ingestion == offline ingestion.
+
+Profiles uploaded through the server must produce *byte-identical*
+observatory rows — and identical drift alerts — to the same files
+ingested with ``repro observe ingest``, under 100 concurrent clients
+with zero dropped and zero duplicated runs.
+"""
+
+import io
+import os
+import threading
+
+from repro.cli import main as cli_main
+from repro.observatory import HISTORY_FILENAME, ObservatoryStore, detect_drift
+from repro.service import ServiceClient, build_envelope, slap
+
+from .util import profile_dump_bytes, running_server
+
+CLIENTS = 100
+BASE_MTIME = 1_700_000_000
+
+
+def write_fleet(tmp_path, count=CLIENTS, degrade_from=None):
+    """``count`` distinct dump files with strictly increasing mtimes.
+
+    ``victim`` turns quadratic from index ``degrade_from`` on (default:
+    the last fifth of the runs), so drift alerts have something to say.
+    """
+    if degrade_from is None:
+        degrade_from = count - max(1, count // 5)
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for index in range(count):
+        quadratic = index >= degrade_from
+        dump = profile_dump_bytes({
+            "stable": lambda n: 10 * n + index,       # distinct bytes per run
+            "victim": (lambda n: n * n) if quadratic else (lambda n: 3 * n),
+        })
+        path = tmp_path / f"run{index:03d}.prof"
+        path.write_bytes(dump)
+        os.utime(path, (BASE_MTIME + index, BASE_MTIME + index))
+        paths.append(str(path))
+    return paths
+
+
+def history_rows(root):
+    """Sorted data rows of a store's ``history.jsonl`` (meta line dropped)."""
+    with open(os.path.join(root, HISTORY_FILENAME), "rb") as stream:
+        lines = stream.read().splitlines()
+    return sorted(line for line in lines if b'"type": "run"' in line)
+
+
+def test_server_matches_observe_ingest_under_100_clients(tmp_path):
+    paths = write_fleet(tmp_path / "dumps")
+
+    # offline: the one-shot CLI, one process-wide store
+    offline_root = str(tmp_path / "offline")
+    out = io.StringIO()
+    code = cli_main(["observe", "ingest", *paths, "--store", offline_root],
+                    out=out)
+    assert code == 0, out.getvalue()
+
+    # online: one upload per concurrent client, against one tenant
+    replies = []
+    failures = []
+    with running_server(tmp_path, workers=4, capacity=2 * CLIENTS) as server:
+        barrier = threading.Barrier(CLIENTS)
+
+        def upload(path):
+            try:
+                with ServiceClient(server.host, server.port,
+                                   tenant="fleet") as client:
+                    barrier.wait(timeout=30.0)
+                    replies.append(client.put_file(path, wait=True))
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                failures.append(f"{path}: {error}")
+
+        threads = [threading.Thread(target=upload, args=(path,))
+                   for path in paths]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        online_root = server.tenants.path("fleet")
+
+    assert failures == []
+    assert len(replies) == CLIENTS                       # zero dropped
+    assert all(reply["status"] == "done" for reply in replies)
+    assert not any(reply["duplicate"] for reply in replies)
+    assert len({reply["run_id"] for reply in replies}) == CLIENTS
+
+    # byte-identical rows (order differs under concurrency; content not)
+    offline = history_rows(offline_root)
+    online = history_rows(online_root)
+    assert len(offline) == CLIENTS
+    assert online == offline
+
+    # and identical alert feeds
+    with ObservatoryStore(offline_root) as store:
+        offline_alerts = detect_drift(store)
+    with ObservatoryStore(online_root) as store:
+        online_alerts = detect_drift(store)
+    assert offline_alerts == online_alerts
+    assert any(alert.routine == "victim" for alert in offline_alerts)
+
+
+def test_slap_swarm_counts_and_envelope(tmp_path):
+    with running_server(tmp_path, workers=4, capacity=512) as server:
+        report = slap(server.host, server.port, tenant="swarm",
+                      clients=8, uploads_per_client=4,
+                      duplicate_ratio=0.5, seed=7, wait=True)
+        store_root = server.tenants.path("swarm")
+
+    assert report.errors == 0
+    assert report.rejected == 0
+    assert report.accepted + report.duplicates == report.uploads
+    assert report.duplicates > 0        # ratio 0.5 over 24 eligible sends
+    assert len(report.latencies_ms) == report.uploads
+    assert report.p99_ms >= report.p50_ms > 0.0
+
+    # the store holds exactly the accepted (unique) runs: no duplicates
+    with ObservatoryStore(store_root) as store:
+        assert len(store) == report.accepted
+
+    rendered = report.render()
+    assert "accepted" in rendered and "p99" in rendered
+
+    envelope = build_envelope(report, run_id="slap-test", git_sha="sha")
+    assert envelope["schema"] == "repro-bench/1"
+    assert envelope["bench"] == "service_slap"
+    assert envelope["metrics"]["accepted"] == report.accepted
+    gate = envelope["metrics"]["gate"]
+    assert gate["latency_ms"]["put_p99"] == report.p99_ms
+    assert gate["throughput"]["uploads_per_s"] == report.uploads_per_second
+    assert gate["ratios"] == {}

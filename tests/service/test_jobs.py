@@ -1,0 +1,219 @@
+"""Job queue semantics: capacity, retries, timeouts, drain, close."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    DONE,
+    FAILED,
+    QUEUED,
+    Job,
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+)
+
+
+def make_job(queue, kind="noop", params=None):
+    return Job(queue.next_job_id(), "default", kind, "", params or {})
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_jobs_run_and_record_result():
+    seen = []
+
+    def handler(job):
+        seen.append(job.kind)
+        return {"kind": job.kind}
+
+    queue = JobQueue(handler, workers=2)
+    try:
+        jobs = [make_job(queue, kind=f"k{i}") for i in range(4)]
+        for job in jobs:
+            queue.submit(job)
+        for job in jobs:
+            assert job.done_event.wait(5.0)
+            assert job.status == DONE
+            assert job.result == {"kind": job.kind}
+            assert job.snapshot()["status"] == DONE
+        assert sorted(seen) == ["k0", "k1", "k2", "k3"]
+    finally:
+        queue.close()
+
+
+def test_capacity_overflow_raises_queue_full():
+    release = threading.Event()
+
+    def handler(job):
+        release.wait(5.0)
+        return {}
+
+    queue = JobQueue(handler, workers=1, capacity=2)
+    try:
+        queue.submit(make_job(queue))
+        # Wait until the worker holds the first job, then fill the queue.
+        assert wait_for(lambda: queue.in_flight() == 1 and queue.depth() == 0)
+        queue.submit(make_job(queue))
+        queue.submit(make_job(queue))
+        with pytest.raises(QueueFull):
+            queue.submit(make_job(queue))
+    finally:
+        release.set()
+        queue.close()
+
+
+def test_failed_job_is_retried():
+    attempts = []
+
+    def handler(job):
+        attempts.append(job.attempts)
+        if len(attempts) == 1:
+            raise RuntimeError("flake")
+        return {}
+
+    queue = JobQueue(handler, workers=1, retries=1)
+    try:
+        job = make_job(queue)
+        queue.submit(job)
+        assert job.done_event.wait(5.0)
+        assert job.status == DONE
+        assert job.error is None
+        assert len(attempts) == 2
+    finally:
+        queue.close()
+
+
+def test_exhausted_retries_marks_failed():
+    def handler(job):
+        raise RuntimeError("always broken")
+
+    queue = JobQueue(handler, workers=1, retries=1)
+    try:
+        job = make_job(queue)
+        queue.submit(job)
+        assert job.done_event.wait(5.0)
+        assert job.status == FAILED
+        assert "always broken" in job.error
+        assert job.attempts == 2
+    finally:
+        queue.close()
+
+
+def test_queue_wait_timeout_fails_stale_job_without_running():
+    ran = []
+    release = threading.Event()
+
+    def handler(job):
+        if job.kind == "blocker":
+            release.wait(5.0)
+        else:
+            ran.append(job.job_id)
+        return {}
+
+    queue = JobQueue(handler, workers=1, timeout=0.05)
+    try:
+        queue.submit(make_job(queue, kind="blocker"))
+        stale = make_job(queue)
+        queue.submit(stale)
+        time.sleep(0.2)
+        release.set()
+        assert stale.done_event.wait(5.0)
+        assert stale.status == FAILED
+        assert "timed out" in stale.error
+        assert stale.job_id not in ran
+    finally:
+        queue.close()
+
+
+def test_status_lookup():
+    queue = JobQueue(lambda job: {}, workers=1)
+    try:
+        job = make_job(queue)
+        queue.submit(job)
+        assert job.done_event.wait(5.0)
+        found = queue.status(job.job_id)
+        assert found is job
+        assert found.status == DONE
+        assert queue.status("j999999") is None
+    finally:
+        queue.close()
+
+
+def test_drain_waits_for_in_flight_jobs():
+    started = threading.Event()
+
+    def handler(job):
+        started.set()
+        time.sleep(0.2)
+        return {"slept": True}
+
+    queue = JobQueue(handler, workers=1)
+    job = make_job(queue)
+    queue.submit(job)
+    assert started.wait(5.0)
+    assert queue.drain(deadline=5.0) is True
+    assert job.status == DONE
+    assert job.result == {"slept": True}
+    with pytest.raises(QueueClosed):
+        queue.submit(make_job(queue))
+
+
+def test_failed_drain_leaves_pending_jobs_unrun():
+    release = threading.Event()
+    ran = []
+
+    def handler(job):
+        if job.kind == "blocker":
+            release.wait(5.0)
+        ran.append(job.kind)
+        return {}
+
+    queue = JobQueue(handler, workers=1)
+    queue.submit(make_job(queue, kind="blocker"))
+    assert wait_for(lambda: queue.in_flight() == 1)
+    pending = make_job(queue, kind="pending")
+    queue.submit(pending)
+    # Unblock the in-flight job shortly after the drain deadline expires.
+    threading.Timer(0.3, release.set).start()
+    assert queue.drain(deadline=0.1) is False
+    assert wait_for(lambda: "blocker" in ran)
+    time.sleep(0.1)
+    # The queued job must never execute after a failed drain.
+    assert pending.status == QUEUED
+    assert "pending" not in ran
+    queue.close()
+
+
+def test_close_is_idempotent():
+    queue = JobQueue(lambda job: {}, workers=1)
+    queue.close()
+    queue.close()
+    with pytest.raises(QueueClosed):
+        queue.submit(make_job(queue))
+
+
+def test_observer_sees_lifecycle():
+    events = []
+
+    def observer(what, job):
+        events.append(what)
+
+    queue = JobQueue(lambda job: {}, workers=1, observer=observer)
+    try:
+        job = make_job(queue)
+        queue.submit(job)
+        assert job.done_event.wait(5.0)
+        assert wait_for(lambda: DONE in events)
+        assert QUEUED in events
+    finally:
+        queue.close()

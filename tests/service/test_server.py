@@ -1,0 +1,270 @@
+"""Server behaviour: lifecycle, idempotency, rejection paths, HTTP."""
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    ProfileServer,
+    ServiceClient,
+    ServiceError,
+    recv_frame,
+)
+
+from .util import profile_dump_bytes, running_server
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def spool_files(server, tenant):
+    spool = os.path.join(server.tenants.path(tenant), "spool")
+    if not os.path.isdir(spool):
+        return []
+    return os.listdir(spool)
+
+
+def test_ping_and_stats_on_one_connection(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port) as client:
+            assert client.ping()["ok"] is True
+            stats = client.stats()
+            assert stats["queue_depth"] == 0
+            assert stats["jobs_in_flight"] == 0
+            assert stats["draining"] is False
+            assert client.tenants() == []
+
+
+def test_put_wait_ingests_and_is_queryable(tmp_path):
+    dump = profile_dump_bytes({"alpha": lambda n: 2 * n})
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port, tenant="web") as client:
+            reply = client.put_bytes(dump, run_id="run-1", git_sha="abc",
+                                     timestamp="2026-08-01T00:00:00+00:00",
+                                     wait=True)
+            assert reply["status"] == "done"
+            assert reply["run_id"] == "run-1"
+            assert reply["duplicate"] is False
+            runs = client.runs()
+            assert [run["run_id"] for run in runs] == ["run-1"]
+            assert runs[0]["git_sha"] == "abc"
+            job = client.job(reply["job"])
+            assert job["status"] == "done"
+            assert client.tenants() == ["web"]
+        # the spooled artefact is removed once the job is terminal
+        assert wait_for(lambda: spool_files(server, "web") == [])
+
+
+def test_duplicate_upload_rejected_at_door(tmp_path):
+    dump = profile_dump_bytes({"alpha": lambda n: 2 * n})
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port) as client:
+            first = client.put_bytes(dump, wait=True)
+            assert first["status"] == "done"
+            again = client.put_bytes(dump)
+            assert again["duplicate"] is True
+            assert again["status"] == "duplicate"
+            assert again["run_id"] == first["run_id"]
+            # the duplicate never reached the spool or the queue (the
+            # first upload's spool file is removed once its job is done)
+            assert wait_for(lambda: spool_files(server, "default") == [])
+            assert len(client.runs()) == 1
+        found = server.registry.find("service.uploads.duplicate")
+        assert found and found[0]["value"] == 1
+
+
+def test_duplicate_by_explicit_run_id(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port) as client:
+            one = profile_dump_bytes({"a": lambda n: n})
+            other = profile_dump_bytes({"b": lambda n: n * n})
+            client.put_bytes(one, run_id="same", wait=True)
+            reply = client.put_bytes(other, run_id="same")
+            assert reply["duplicate"] is True
+            assert len(client.runs()) == 1
+
+
+def test_malformed_envelope_fails_job_with_recorded_error(tmp_path):
+    payload = b'{"schema": "bogus", "metrics": {}}\n'
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port) as client:
+            reply = client.put_bytes(payload, wait=True)
+            assert reply["status"] == "failed"
+            assert "repro-bench/1" in reply["error"]
+            assert reply["attempts"] == 2          # default: one retry
+            assert client.runs() == []
+        assert wait_for(lambda: spool_files(server, "default") == [])
+        found = server.registry.find("service.jobs.failed")
+        assert found and found[0]["value"] == 1
+
+
+def test_empty_payload_rejected(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port) as client:
+            with pytest.raises(ServiceError, match="empty upload"):
+                client.put_bytes(b"")
+
+
+def test_unknown_op_keeps_connection_alive(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port) as client:
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.request({"op": "nope"})
+            assert client.ping()["ok"] is True
+
+
+def test_invalid_tenant_rejected(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port,
+                           tenant="../escape") as client:
+            with pytest.raises(ServiceError, match="invalid tenant"):
+                client.put_bytes(b"data")
+        assert not (tmp_path / "escape").exists()
+
+
+def test_garbage_frame_gets_error_reply_and_close(tmp_path):
+    with running_server(tmp_path) as server:
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5.0)
+        try:
+            sock.sendall(b"XXXXJUNKJUNKJUNKJUNK")
+            header, _payload = recv_frame(sock)
+            assert header["ok"] is False
+            assert "magic" in header["error"]
+            # the server hangs up: clean EOF or a reset, nothing more
+            try:
+                assert sock.recv(1) == b""
+            except ConnectionResetError:
+                pass
+        finally:
+            sock.close()
+
+
+def test_queue_full_pushes_back(tmp_path):
+    release = threading.Event()
+    with running_server(tmp_path, workers=1, capacity=1) as server:
+        original = server.queue.handler
+
+        def blocking(job):
+            release.wait(10.0)
+            return original(job)
+
+        server.queue.handler = blocking
+        try:
+            with ServiceClient(server.host, server.port) as client:
+                client.put_bytes(profile_dump_bytes({"a": lambda n: n}))
+                assert wait_for(lambda: server.queue.in_flight() == 1
+                                and server.queue.depth() == 0)
+                client.put_bytes(profile_dump_bytes({"b": lambda n: n}))
+                with pytest.raises(ServiceError) as raised:
+                    client.put_bytes(profile_dump_bytes({"c": lambda n: n}))
+                assert raised.value.header["status"] == "rejected"
+                assert raised.value.header["reason"] == "queue_full"
+        finally:
+            release.set()
+        found = server.registry.find("service.uploads.rejected",
+                                     reason="queue_full")
+        assert found and found[0]["value"] == 1
+
+
+def test_stop_drains_queued_jobs(tmp_path):
+    server = ProfileServer(str(tmp_path / "tenants"), workers=1)
+    server.start()
+    try:
+        with ServiceClient(server.host, server.port) as client:
+            for index in range(5):
+                client.put_bytes(
+                    profile_dump_bytes({f"r{index}": lambda n: n}),
+                    run_id=f"run-{index}")
+        assert server.stop() is True
+    finally:
+        server.stop()
+    # every accepted upload was analysed before shutdown completed
+    store = server.tenants.store("default")
+    try:
+        assert sorted(info.run_id for info in store.runs()) == [
+            f"run-{index}" for index in range(5)]
+    finally:
+        store.close()
+
+
+def test_shutdown_op_stops_accepting_connections(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port) as client:
+            reply = client.shutdown()
+            assert reply["ok"] is True
+
+        def refused():
+            try:
+                sock = socket.create_connection(
+                    (server.host, server.port), timeout=0.2)
+            except OSError:
+                return True
+            sock.close()
+            return False
+
+        assert wait_for(refused)
+
+
+def test_sigterm_drains_in_flight_jobs(tmp_path):
+    old_term = signal.getsignal(signal.SIGTERM)
+    old_int = signal.getsignal(signal.SIGINT)
+    server = ProfileServer(str(tmp_path / "tenants"), workers=1)
+    server.start()
+    try:
+        server.install_signal_handlers()
+        original = server.queue.handler
+
+        def slow(job):
+            time.sleep(0.2)
+            return original(job)
+
+        server.queue.handler = slow
+        with ServiceClient(server.host, server.port) as client:
+            client.put_bytes(profile_dump_bytes({"a": lambda n: n}),
+                             run_id="inflight")
+        assert wait_for(lambda: server.queue.in_flight() == 1)
+        threading.Timer(0.05, os.kill, (os.getpid(), signal.SIGTERM)).start()
+        assert server.serve_forever() is True       # drained, not dropped
+        store = server.tenants.store("default")
+        try:
+            assert store.has_run("inflight")
+        finally:
+            store.close()
+    finally:
+        server.stop()
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
+
+
+def test_http_fallback_serves_dashboards(tmp_path):
+    dump = profile_dump_bytes({"alpha": lambda n: 2 * n})
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port, tenant="web") as client:
+            client.put_bytes(dump, run_id="run-1", wait=True)
+        base = f"http://{server.host}:{server.port}"
+        index = urllib.request.urlopen(f"{base}/").read().decode()
+        assert "web" in index
+        stats = json.loads(urllib.request.urlopen(f"{base}/stats").read())
+        assert stats["tenants"] == ["web"]
+        runs = json.loads(
+            urllib.request.urlopen(f"{base}/web/runs").read())
+        assert [run["run_id"] for run in runs] == ["run-1"]
+        html = urllib.request.urlopen(f"{base}/web").read().decode()
+        assert "web" in html and html.lstrip().startswith("<!")
+        with pytest.raises(urllib.error.HTTPError) as raised:
+            urllib.request.urlopen(f"{base}/No-Such-Tenant")
+        assert raised.value.code == 404

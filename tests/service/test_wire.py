@@ -1,0 +1,117 @@
+"""Framing tests: round trips, ceilings, truncation, garbage."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.service import MAGIC, MAX_HEADER_BYTES, WireError, recv_frame, send_frame
+
+
+def pair():
+    return socket.socketpair()
+
+
+def test_round_trip_header_and_payload():
+    left, right = pair()
+    try:
+        send_frame(left, {"op": "put", "tenant": "web"}, b"\x00\x01binary")
+        header, payload = recv_frame(right)
+        assert header == {"op": "put", "tenant": "web"}
+        assert payload == b"\x00\x01binary"
+    finally:
+        left.close()
+        right.close()
+
+
+def test_empty_payload_round_trip():
+    left, right = pair()
+    try:
+        send_frame(left, {"op": "ping"})
+        header, payload = recv_frame(right)
+        assert header["op"] == "ping"
+        assert payload == b""
+    finally:
+        left.close()
+        right.close()
+
+
+def test_many_frames_on_one_connection():
+    left, right = pair()
+    try:
+        for index in range(5):
+            send_frame(left, {"seq": index}, bytes([index]) * index)
+        for index in range(5):
+            header, payload = recv_frame(right)
+            assert header["seq"] == index
+            assert payload == bytes([index]) * index
+    finally:
+        left.close()
+        right.close()
+
+
+def test_clean_eof_returns_none_when_allowed():
+    left, right = pair()
+    left.close()
+    try:
+        assert recv_frame(right, eof_ok=True) is None
+        with pytest.raises(WireError):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_bad_magic_raises():
+    left, right = pair()
+    try:
+        left.sendall(struct.pack("!4sII", b"HTTP", 2, 0) + b"{}")
+        with pytest.raises(WireError, match="magic"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_oversized_header_rejected_before_allocation():
+    left, right = pair()
+    try:
+        left.sendall(struct.pack("!4sII", MAGIC, MAX_HEADER_BYTES + 1, 0))
+        with pytest.raises(WireError, match="header length"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_truncated_frame_raises():
+    left, right = pair()
+    try:
+        left.sendall(struct.pack("!4sII", MAGIC, 10, 0) + b"{}")
+        left.close()
+        with pytest.raises(WireError, match="mid-frame"):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_non_object_header_raises():
+    left, right = pair()
+    try:
+        body = b"[1, 2]"
+        left.sendall(struct.pack("!4sII", MAGIC, len(body), 0) + body)
+        with pytest.raises(WireError, match="not a JSON object"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_send_refuses_oversized_payload():
+    left, right = pair()
+    try:
+        with pytest.raises(WireError, match="payload too large"):
+            send_frame(left, {"op": "put"},
+                       b"\x00" * ((64 << 20) + 1))
+    finally:
+        left.close()
+        right.close()

@@ -1,0 +1,44 @@
+"""Shared helpers: running servers and synthetic upload artefacts."""
+
+import contextlib
+import io
+
+from repro.core import ProfileDatabase
+from repro.farm import save_profile
+from repro.service import ProfileServer
+
+SIZES = (4, 8, 16, 32, 64)
+
+
+def profile_dump_bytes(routines, sizes=SIZES):
+    """A ``repro-profile 1`` dump (bytes) of synthetic cost functions."""
+    db = ProfileDatabase()
+    for name, cost_fn in routines.items():
+        for size in sizes:
+            db.add_activation(name, 1, size, int(cost_fn(size)))
+    stream = io.StringIO()
+    save_profile(db, stream)
+    return stream.getvalue().encode("utf-8")
+
+
+def drifting_dumps(runs=4, degrade_from=2):
+    """Dump bytes per run: ``victim`` turns quadratic at ``degrade_from``."""
+    dumps = []
+    for index in range(runs):
+        quadratic = index >= degrade_from
+        dumps.append(profile_dump_bytes({
+            "stable": lambda n: 10 * n,
+            "victim": (lambda n: n * n) if quadratic else (lambda n: 3 * n),
+        }))
+    return dumps
+
+
+@contextlib.contextmanager
+def running_server(tmp_path, **kwargs):
+    """A started :class:`ProfileServer` over ``tmp_path/tenants``."""
+    server = ProfileServer(str(tmp_path / "tenants"), **kwargs)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()

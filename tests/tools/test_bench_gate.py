@@ -180,6 +180,51 @@ def test_rebaseline_skips_non_envelope_json(tmp_path):
     assert sorted(os.listdir(baselines)) == ["kernel.json"]
 
 
+def latency_envelope(run_id, p99, bench="service_slap"):
+    payload = envelope(run_id, {}, bench=bench)
+    payload["metrics"]["gate"]["latency_ms"] = {"put_p99": p99}
+    return payload
+
+
+def test_latency_growth_past_tolerance_fails():
+    base = latency_envelope("b", 10.0)
+    fresh = latency_envelope("f", 14.0)
+    (problem,) = compare_envelopes(base, fresh, "slap.json", 0.25)
+    assert "latency_ms.put_p99 grew" in problem
+    assert "40.0%" in problem
+
+
+def test_latency_within_tolerance_passes():
+    base = latency_envelope("b", 10.0)
+    fresh = latency_envelope("f", 12.0)
+    assert compare_envelopes(base, fresh, "slap.json", 0.25) == []
+
+
+def test_latency_improvement_passes():
+    base = latency_envelope("b", 10.0)
+    fresh = latency_envelope("f", 2.0)
+    assert compare_envelopes(base, fresh, "slap.json", 0.25) == []
+
+
+def test_missing_latency_key_is_a_problem():
+    base = latency_envelope("b", 10.0)
+    fresh = envelope("f", {})
+    (problem,) = compare_envelopes(base, fresh, "slap.json", 0.25)
+    assert "latency_ms.put_p99 missing" in problem
+
+
+def test_latency_gate_end_to_end(tmp_path):
+    baselines = str(tmp_path / "baselines")
+    results = str(tmp_path / "results")
+    write_envelope(baselines, "slap.json", latency_envelope("base-1", 10.0))
+    write_envelope(results, "slap.json", latency_envelope("fresh-1", 40.0))
+    out = io.StringIO()
+    code = run_gate(results, baselines_dir=baselines, tolerance=0.25,
+                    summary_path=str(tmp_path / "s.json"), out=out)
+    assert code == 1
+    assert "latency_ms.put_p99 grew" in out.getvalue()
+
+
 def test_no_baselines_is_a_failure(tmp_path):
     results = str(tmp_path / "results")
     write_envelope(results, "kernel.json", envelope("r1", {"speedup": 2.0}))

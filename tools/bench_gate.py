@@ -10,6 +10,9 @@ whose payload carries a ``gate`` section::
                                            # speedup) — gated by --tolerance
         "throughput":     {name: value},   # absolute events/s — informational
                                            # unless --absolute is given
+        "latency_ms":     {name: value},   # e.g. the slap swarm's p99 upload
+                                           # latency — gated like a ratio but
+                                           # INVERTED (growth is the regression)
         "profile_sha256": {name: digest},  # profile-dump hashes — must match
     }
 
@@ -21,9 +24,15 @@ committed ``benchmarks/baselines/*.json`` and fails (exit 1) when
 * a ratio metric regressed by more than ``--tolerance`` (default 25%) —
   e.g. the flat kernel's speedup over classic dropped, the symptom of a
   slowdown in the hot loop that a ratio measures free of machine speed;
+* a latency metric *grew* by more than ``--tolerance`` — the inverted
+  direction: for ``latency_ms`` entries (the slap swarm's p99 upload
+  latency, ``repro slap --json``) bigger is worse.  Like throughput,
+  latency baselines are only meaningful against the machine that
+  recorded them — commit one where CI hardware is stable, or gate
+  locally;
 * with ``--absolute``: an absolute throughput metric regressed likewise
   (off by default — absolute events/s are not comparable across
-  machines, so CI gates on ratios and hashes only).
+  machines, so CI gates on ratios, latencies and hashes only).
 
 Typical uses::
 
@@ -167,6 +176,21 @@ def compare_envelopes(
                     f"{name}: {section}.{key} regressed "
                     f"{(1 - new / old) * 100:.1f}% "
                     f"({old} -> {new}, tolerance {tolerance * 100:.0f}%)")
+
+    # latency gates are inverted: growth past tolerance is the regression
+    for key, old in (base_gate.get("latency_ms") or {}).items():
+        new = (new_gate.get("latency_ms") or {}).get(key)
+        if new is None:
+            problems.append(f"{name}: metric latency_ms.{key} missing "
+                            f"from the fresh envelope")
+            continue
+        if not isinstance(old, (int, float)) or old <= 0:
+            continue
+        if new > old * (1.0 + tolerance):
+            problems.append(
+                f"{name}: latency_ms.{key} grew "
+                f"{(new / old - 1) * 100:.1f}% "
+                f"({old} -> {new} ms, tolerance {tolerance * 100:.0f}%)")
     return problems
 
 

@@ -38,8 +38,11 @@ Commands:
   analysing asynchronously on a bounded job queue (``docs/SERVICE.md``);
 * ``slap`` — the minislap load generator: a swarm of concurrent
   clients hammering a running server, reported as p50/p99 upload
-  latency and duplicate/rejected tallies (optionally as a
-  ``repro-bench/1`` envelope for the bench gate).
+  latency, duplicate/rejected tallies and the server's SLO burn
+  (optionally as a ``repro-bench/1`` envelope for the bench gate);
+* ``trace`` — join client and server telemetry logs by trace id and
+  render cross-process request waterfalls (``--slowest N`` picks the
+  worst uploads; ``--html`` writes SVG timelines).
 
 Every pipeline command accepts ``--telemetry DIR``: spans, heartbeats
 and metrics of that invocation land in ``DIR/telemetry.jsonl`` for
@@ -258,6 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="how long shutdown waits for in-flight jobs "
                             "(default 30)")
+    serve.add_argument("--slo-window", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="rolling SLO window per tenant (default 300)")
+    serve.add_argument("--slo-p99-ms", type=float, default=500.0,
+                       metavar="MS",
+                       help="ingest latency p99 target (default 500)")
+    serve.add_argument("--slo-error-budget", type=float, default=0.01,
+                       metavar="R",
+                       help="tolerated ingest error rate (default 0.01)")
+    serve.add_argument("--slo-shed-budget", type=float, default=0.05,
+                       metavar="R",
+                       help="tolerated queue-shed rate (default 0.05)")
     _add_telemetry_option(serve)
 
     slap = commands.add_parser(
@@ -281,7 +296,26 @@ def build_parser() -> argparse.ArgumentParser:
                            "(measures end-to-end instead of ack latency)")
     slap.add_argument("--json", metavar="FILE", default=None,
                       help="also write the repro-bench/1 envelope "
-                           "(gate.latency_ms for tools/bench_gate.py)")
+                           "(gate.latency_ms / gate.slo for "
+                           "tools/bench_gate.py)")
+    _add_telemetry_option(slap)
+
+    trace = commands.add_parser(
+        "trace",
+        help="join telemetry logs by trace id into request waterfalls",
+    )
+    trace.add_argument("logs", nargs="+",
+                       help="telemetry run directories or .jsonl files "
+                            "(client-side and server-side)")
+    trace.add_argument("--trace-id", default=None, metavar="ID",
+                       help="render only this trace")
+    trace.add_argument("--slowest", type=int, default=None, metavar="N",
+                       help="render only the N longest traces")
+    trace.add_argument("--html", metavar="FILE",
+                       help="also write the traces as one HTML timeline page")
+    trace.add_argument("--assert-linked", type=int, default=None, metavar="N",
+                       help="exit 1 unless some trace is a single "
+                            "cross-process tree of at least N spans")
 
     return parser
 
@@ -665,7 +699,7 @@ def _cmd_observe(args, out) -> int:
 
 
 def _cmd_serve(args, out) -> int:
-    from .service import ProfileServer
+    from .service import ProfileServer, SloTargets
 
     server = ProfileServer(
         args.root,
@@ -676,6 +710,12 @@ def _cmd_serve(args, out) -> int:
         retries=args.retries,
         timeout=args.job_timeout,
         drain_timeout=args.drain_timeout,
+        slo_window=args.slo_window,
+        slo_targets=SloTargets(
+            p99_ms=args.slo_p99_ms,
+            error_budget=args.slo_error_budget,
+            shed_budget=args.slo_shed_budget,
+        ),
     )
     host, port = server.start()
     try:
@@ -726,6 +766,57 @@ def _cmd_slap(args, out) -> int:
     return 0 if report.latencies_ms else 1
 
 
+def _cmd_trace(args, out) -> int:
+    from .reporting.tracing import (
+        assemble_traces,
+        load_trace_spans,
+        render_trace_waterfall,
+        render_traces_html,
+        slowest,
+    )
+
+    try:
+        spans = load_trace_spans(args.logs)
+    except OSError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    traces = assemble_traces(spans)
+    if not traces:
+        out.write("no traced spans found (run client and server with "
+                  "--telemetry to record trace ids)\n")
+        return 1 if args.assert_linked else 0
+    if args.trace_id is not None:
+        chosen = [traces[args.trace_id]] if args.trace_id in traces else []
+        if not chosen:
+            out.write(f"error: no trace {args.trace_id!r} in "
+                      f"{len(traces)} trace(s)\n")
+            return 2
+    elif args.slowest is not None:
+        chosen = slowest(traces, args.slowest)
+    else:
+        chosen = slowest(traces, len(traces))
+    out.write(f"{len(traces)} trace(s) across {len(args.logs)} log(s); "
+              f"rendering {len(chosen)}\n\n")
+    for trace_item in chosen:
+        out.write(render_trace_waterfall(trace_item))
+        out.write("\n")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as stream:
+            stream.write(render_traces_html(chosen))
+        out.write(f"wrote HTML timelines to {args.html}\n")
+    if args.assert_linked is not None:
+        linked = [trace_item for trace_item in traces.values()
+                  if trace_item.is_single_tree()
+                  and len(trace_item.spans) >= args.assert_linked]
+        if not linked:
+            out.write(f"assertion failed: no single-tree trace with >= "
+                      f"{args.assert_linked} spans\n")
+            return 1
+        out.write(f"assertion ok: {len(linked)} single-tree trace(s) with "
+                  f">= {args.assert_linked} spans\n")
+    return 0
+
+
 def _cmd_stats(args, out) -> int:
     from .reporting import render_telemetry_dashboard, render_telemetry_html
     from .telemetry import TelemetryRun
@@ -771,6 +862,8 @@ def _dispatch(args, out) -> int:
         return _cmd_serve(args, out)
     if args.command == "slap":
         return _cmd_slap(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

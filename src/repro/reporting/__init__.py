@@ -5,6 +5,15 @@ from .bottlenecks import Bottleneck, rank_bottlenecks, render_bottlenecks
 from .diffing import ProfileDiff, diff_databases, render_diff
 from .html import render_html_report, svg_scatter, svg_timeline
 from .telemetry import render_telemetry_dashboard, render_telemetry_html
+from .tracing import (
+    Trace,
+    TraceSpan,
+    assemble_traces,
+    load_trace_spans,
+    render_trace_waterfall,
+    render_traces_html,
+    slowest,
+)
 from .figures import (
     external_input_curve,
     induced_breakdown,
@@ -42,6 +51,13 @@ __all__ = [
     "render_telemetry_dashboard",
     "render_telemetry_html",
     "svg_timeline",
+    "Trace",
+    "TraceSpan",
+    "assemble_traces",
+    "load_trace_spans",
+    "render_trace_waterfall",
+    "render_traces_html",
+    "slowest",
     "ProfileDiff",
     "diff_databases",
     "render_diff",

@@ -1,0 +1,221 @@
+"""Cross-process trace assembly and rendering (``repro trace``).
+
+The client and the server of one service request write spans into
+*different* telemetry logs on *different* clocks-of-origin (each log's
+``meta.epoch``).  This module joins them back together:
+
+* :func:`load_trace_spans` reads any number of ``telemetry.jsonl``
+  logs, keeps the spans that carry a trace identity (``trace`` /
+  ``uid`` / ``parent_uid``, written under an active trace context) and
+  rebases every start offset onto the shared wall clock via each log's
+  epoch — the one clock both processes agree on;
+* :func:`assemble_traces` groups spans by trace id and links them into
+  parent/child trees on ``uid``/``parent_uid`` (a span whose parent is
+  in neither log becomes a root — partial traces render, they just
+  show more than one root);
+* :func:`render_trace_waterfall` draws one trace as an ASCII waterfall
+  (indent = tree depth, bar = position on the shared time axis,
+  ``@source`` = which log the span came from);
+* :func:`render_traces_html` renders selected traces as one
+  self-contained HTML page of SVG timelines
+  (:func:`repro.reporting.html.svg_timeline` — the flame-chart
+  renderer ``repro stats --html`` already uses);
+* :func:`slowest` picks the N longest traces — the ``--slowest N``
+  triage mode: "show me the worst uploads of this run".
+
+Nothing here needs the server: two log files (or one — a server-only
+trace still renders) are the entire input.
+"""
+
+from __future__ import annotations
+
+import os
+from html import escape
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..telemetry.jsonl import TelemetryRun
+from .html import PAGE_STYLE, svg_timeline
+
+__all__ = [
+    "TraceSpan",
+    "Trace",
+    "load_trace_spans",
+    "assemble_traces",
+    "slowest",
+    "render_trace_waterfall",
+    "render_traces_html",
+]
+
+
+class TraceSpan:
+    """One traced span rebased onto the shared wall clock."""
+
+    __slots__ = ("name", "trace_id", "uid", "parent_uid", "start", "wall",
+                 "ok", "source", "attrs", "children")
+
+    def __init__(self, record: Dict, epoch: float, source: str):
+        self.name = str(record.get("name", "?"))
+        self.trace_id = str(record["trace"])
+        self.uid = str(record["uid"])
+        parent = record.get("parent_uid")
+        self.parent_uid: Optional[str] = None if parent is None else str(parent)
+        self.start = epoch + float(record.get("start", 0.0))
+        self.wall = float(record.get("wall", 0.0))
+        self.ok = bool(record.get("ok", True))
+        self.source = source
+        self.attrs: Dict = record.get("attrs") or {}
+        self.children: List["TraceSpan"] = []
+
+    @property
+    def end(self) -> float:
+        return self.start + self.wall
+
+
+class Trace:
+    """All spans of one trace id, linked into parent/child trees."""
+
+    def __init__(self, trace_id: str, spans: List[TraceSpan]):
+        self.trace_id = trace_id
+        self.spans = sorted(spans, key=lambda span: (span.start, span.uid))
+        by_uid = {span.uid: span for span in self.spans}
+        self.roots: List[TraceSpan] = []
+        for span in self.spans:
+            parent = (by_uid.get(span.parent_uid)
+                      if span.parent_uid is not None else None)
+            if parent is None or parent is span:
+                self.roots.append(span)
+            else:
+                parent.children.append(span)
+
+    @property
+    def start(self) -> float:
+        return self.spans[0].start if self.spans else 0.0
+
+    @property
+    def end(self) -> float:
+        return max((span.end for span in self.spans), default=0.0)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @property
+    def sources(self) -> List[str]:
+        return sorted({span.source for span in self.spans})
+
+    def is_single_tree(self) -> bool:
+        """True when every span hangs off one root — a complete join."""
+        return len(self.roots) == 1 and bool(self.spans)
+
+    def ordered(self) -> List[Tuple[TraceSpan, int]]:
+        """Depth-first ``(span, depth)`` walk over all roots."""
+        out: List[Tuple[TraceSpan, int]] = []
+
+        def walk(span: TraceSpan, depth: int) -> None:
+            out.append((span, depth))
+            for child in sorted(span.children,
+                                key=lambda item: (item.start, item.uid)):
+                walk(child, depth + 1)
+
+        for root in sorted(self.roots, key=lambda item: (item.start, item.uid)):
+            walk(root, 0)
+        return out
+
+
+def _source_label(path: str, seen: Dict[str, str]) -> str:
+    """A short, unique label for one log path (directory or file stem)."""
+    base = os.path.basename(os.path.dirname(os.path.abspath(path))) \
+        if os.path.basename(path) == "telemetry.jsonl" \
+        else os.path.splitext(os.path.basename(path))[0]
+    label = base or path
+    suffix = 1
+    while label in seen and seen[label] != path:
+        suffix += 1
+        label = f"{base}#{suffix}"
+    seen[label] = path
+    return label
+
+
+def load_trace_spans(paths: Sequence[str]) -> List[TraceSpan]:
+    """Every traced span of every log, on the shared wall clock."""
+    spans: List[TraceSpan] = []
+    seen: Dict[str, str] = {}
+    for path in paths:
+        run = TelemetryRun.load(path)
+        epoch = float(run.meta.get("epoch", 0.0))
+        source = _source_label(run.path or path, seen)
+        for record in run.spans:
+            if record.get("trace") and record.get("uid"):
+                spans.append(TraceSpan(record, epoch, source))
+    return spans
+
+
+def assemble_traces(spans: Sequence[TraceSpan]) -> Dict[str, Trace]:
+    """Spans grouped and linked per trace id."""
+    grouped: Dict[str, List[TraceSpan]] = {}
+    for span in spans:
+        grouped.setdefault(span.trace_id, []).append(span)
+    return {trace_id: Trace(trace_id, members)
+            for trace_id, members in grouped.items()}
+
+
+def slowest(traces: Dict[str, Trace], count: int) -> List[Trace]:
+    """The ``count`` longest traces, longest first."""
+    ordered = sorted(traces.values(),
+                     key=lambda trace: (-trace.duration, trace.trace_id))
+    return ordered[: max(0, count)]
+
+
+def render_trace_waterfall(trace: Trace, width: int = 40) -> str:
+    """One trace as an ASCII waterfall (shared time axis, tree indent)."""
+    t0 = trace.start
+    span_total = trace.duration or 1e-9
+    shape = "tree" if trace.is_single_tree() else \
+        f"{len(trace.roots)} roots (incomplete join)"
+    lines = [
+        f"trace {trace.trace_id}  "
+        f"{span_total * 1000:.2f}ms  {len(trace.spans)} span(s)  "
+        f"logs: {', '.join(trace.sources)}  [{shape}]"
+    ]
+    entries = trace.ordered()
+    label_width = max((len("  " * depth + span.name)
+                       for span, depth in entries), default=0)
+    for span, depth in entries:
+        label = "  " * depth + span.name
+        left = int(round((span.start - t0) / span_total * (width - 1)))
+        filled = max(1, int(round(span.wall / span_total * width)))
+        filled = min(filled, width - left)
+        bar = " " * left + "#" * filled
+        status = "" if span.ok else "  ERROR"
+        lines.append(
+            f"  {label:<{label_width}}  |{bar:<{width}}| "
+            f"{span.wall * 1000:8.2f}ms  @{span.source}{status}")
+    return "\n".join(lines) + "\n"
+
+
+def _trace_intervals(trace: Trace) -> List[Tuple[str, float, float, int]]:
+    t0 = trace.start
+    return [(f"{span.name} @{span.source}", span.start - t0, span.wall, depth)
+            for span, depth in trace.ordered()]
+
+
+def render_traces_html(traces: Sequence[Trace],
+                       title: str = "request traces") -> str:
+    """Selected traces as one self-contained HTML page of timelines."""
+    sections = []
+    for trace in traces:
+        meta = (f"{trace.duration * 1000:.2f}ms &middot; "
+                f"{len(trace.spans)} spans &middot; "
+                f"logs: {escape(', '.join(trace.sources))}")
+        sections.append(
+            f"<h2>trace <code>{escape(trace.trace_id)}</code></h2>"
+            f'<p class="meta">{meta}</p>'
+            f"{svg_timeline(_trace_intervals(trace))}")
+    body = "".join(sections) or "<p>(no traces found)</p>"
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{escape(title)}</title>
+<style>{PAGE_STYLE}</style></head><body>
+<h1>{escape(title)}</h1>
+{body}
+</body></html>
+"""

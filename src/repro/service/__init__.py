@@ -14,13 +14,18 @@ ROADMAP's production-service shape:
 * :mod:`repro.service.server` — the thread-per-client TCP server
   (``repro serve``): async ``put`` ingestion with at-the-door
   duplicate rejection, read-side ``runs``/``alerts``/``report`` ops,
-  an HTTP ``GET`` fallback for browsers, self-metrics, SIGTERM drain;
+  an HTTP ``GET``/``HEAD`` fallback for browsers and scrapers
+  (including Prometheus ``/metrics``), self-metrics, distributed
+  trace continuation, SIGTERM drain;
+* :mod:`repro.service.slo` — per-tenant rolling-window SLO tracking
+  (latency quantiles, error/shed budgets, burn-rate alerts);
 * :mod:`repro.service.client` — :class:`ServiceClient`, the thin
-  uploader library;
+  uploader library (mints the trace context each request travels in
+  when telemetry is live);
 * :mod:`repro.service.slap` — the minislap swarm (``repro slap``):
-  concurrent upload load generation reported as p50/p99 latency and
-  duplicate/rejected tallies in a ``repro-bench/1`` envelope the
-  bench gate consumes.
+  concurrent upload load generation reported as p50/p99 latency,
+  duplicate/rejected tallies and the server's own SLO burn in a
+  ``repro-bench/1`` envelope the bench gate consumes.
 
 Contract: a profile ingested through the server produces exactly the
 observatory rows and alerts that ``repro observe ingest`` of the same
@@ -32,6 +37,7 @@ from .client import ServiceClient, ServiceError, mtime_iso
 from .jobs import DONE, FAILED, QUEUED, RUNNING, Job, JobQueue, QueueClosed, QueueFull
 from .server import ProfileServer
 from .slap import SlapReport, build_envelope, slap, synthetic_artefact
+from .slo import SloTargets, SloTracker
 from .tenants import DEFAULT_TENANT, TENANT_RE, TenantError, TenantManager, validate_tenant
 from .wire import (
     MAGIC,
@@ -57,6 +63,8 @@ __all__ = [
     "QueueFull",
     "ProfileServer",
     "SlapReport",
+    "SloTargets",
+    "SloTracker",
     "build_envelope",
     "slap",
     "synthetic_artefact",

@@ -11,6 +11,13 @@ requirement that profiling stays off the measured path).
 The client is also what the load generator (:mod:`repro.service.slap`)
 hammers the server with, so every method returns the parsed response
 header (plus the payload where one is defined) rather than printing.
+
+When telemetry is live, every request runs inside a fresh **trace
+context**: the client records a ``client.<op>`` span and attaches the
+trace carrier to the wire header, so the server's spans for the same
+request land in its own log under the same trace id — ``repro trace``
+joins the two halves.  With telemetry disabled (the default) no trace
+is minted and headers are byte-identical to before.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import socket
 from datetime import datetime, timezone
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from .tenants import DEFAULT_TENANT
 from .wire import recv_frame, send_frame
 
@@ -71,6 +79,21 @@ class ServiceClient:
 
     def request(self, header: Dict, payload: bytes = b"") -> Tuple[Dict, bytes]:
         """One round trip; raises :class:`ServiceError` on ``ok: false``."""
+        tele = telemetry.current()
+        if not tele.enabled:
+            return self._round_trip(header, payload)
+        op = str(header.get("op") or "request")
+        with tele.trace():
+            with tele.span(f"client.{op}", tenant=header.get("tenant")) as sp:
+                carrier = tele.trace_carrier()
+                if carrier is not None:
+                    header = dict(header)
+                    header["trace"] = carrier
+                reply_header, reply_payload = self._round_trip(header, payload)
+                sp.set(bytes_out=len(payload), bytes_in=len(reply_payload))
+                return reply_header, reply_payload
+
+    def _round_trip(self, header: Dict, payload: bytes) -> Tuple[Dict, bytes]:
         send_frame(self.sock, header, payload)
         reply = recv_frame(self.sock)
         assert reply is not None        # recv_frame raises on EOF here

@@ -75,6 +75,13 @@ class Job:
         self.attempts = 0
         self.error: Optional[str] = None
         self.result: Optional[Dict] = None
+        #: trace continuation set by the server when the upload was traced:
+        #: ``{"id", "parent", "enqueued_time"}`` — the worker re-activates
+        #: the trace context from it so async spans join the request tree
+        self.trace: Optional[Dict] = None
+        #: True when the job failed without running (queue-wait expiry) —
+        #: the SLO tracker counts these as shed, not as ingest errors
+        self.shed = False
         self.enqueued_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -216,6 +223,7 @@ class JobQueue:
         waited = (job.started_at or job.enqueued_at) - job.enqueued_at
         if self.timeout is not None and waited > self.timeout:
             job.status = FAILED
+            job.shed = True
             job.error = (f"timed out after {waited:.3f}s in queue "
                          f"(timeout {self.timeout}s)")
             job.finished_at = time.monotonic()

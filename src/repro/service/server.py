@@ -23,15 +23,30 @@ profiling-as-a-service:
 * **self-observation** — queue depth, jobs in flight, ingest latency
   histograms and per-op request counters land in the server's own
   metrics registry (the ``stats`` op returns a snapshot) and mirror
-  into the process telemetry when ``--telemetry`` is live;
+  into the process telemetry when ``--telemetry`` is live; a
+  :class:`~repro.service.slo.SloTracker` keeps per-tenant rolling
+  SLO state (latency quantiles, error/shed burn rates) surfaced via
+  ``stats``, ``/slo`` and ``/metrics``;
+* **distributed tracing** — when an upload's wire header carries a
+  trace context (``{"trace": {"id", "parent"}}``, attached by
+  :class:`~repro.service.client.ServiceClient` under live telemetry),
+  the server continues the trace: ``server.request`` wraps the
+  dispatch, retroactive ``server.accept`` / ``server.decode`` spans
+  cover the socket work, ``server.spool`` the disk write, and the
+  worker adds ``server.queue_wait`` / ``server.execute`` /
+  ``server.ingest`` under the same trace id — ``repro trace`` joins
+  the client and server logs into one waterfall.  Untraced requests
+  (telemetry off, old clients) take the exact pre-trace code path;
 * **lifecycle** — ``start`` binds, ``serve_forever`` accepts until a
   shutdown is requested; SIGTERM/SIGINT (or the ``shutdown`` op) stop
   intake, drain queued and in-flight jobs to completion (bounded by
   ``drain_timeout``), then close the stores.
 
-The same port also answers plain HTTP ``GET`` (sniffed from the first
-bytes): ``/`` (tenant index), ``/stats`` (JSON), ``/<tenant>`` (HTML
-dashboard), ``/<tenant>/report|alerts|runs`` — so a browser can watch
+The same port also answers plain HTTP ``GET``/``HEAD`` (sniffed from
+the first bytes; other verbs get 405): ``/`` (tenant index),
+``/stats`` (JSON), ``/metrics`` (Prometheus text exposition), ``/slo``
+(JSON), ``/<tenant>`` (HTML dashboard),
+``/<tenant>/report|alerts|runs`` — so a browser or a scraper can watch
 a store the wire protocol feeds.
 """
 
@@ -43,20 +58,29 @@ import os
 import signal
 import socket
 import threading
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..observatory import artefact_suffix, detect_drift, ingest_path
+from ..telemetry.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..telemetry.prometheus import render_prometheus
 from ..telemetry.registry import MetricsRegistry
 from .jobs import DONE, FAILED, Job, JobQueue, QueueClosed, QueueFull
+from .slo import SloTargets, SloTracker
 from .tenants import DEFAULT_TENANT, TenantError, TenantManager, validate_tenant
-from .wire import WireError, recv_frame, send_frame
+from .wire import MAGIC, WireError, recv_frame, send_frame
 
 __all__ = ["ProfileServer"]
 
 #: ops a request header may name
 _OPS = ("ping", "put", "job", "runs", "alerts", "report", "stats",
         "tenants", "shutdown")
+
+#: HTTP verbs the sniffer recognizes (only GET/HEAD are served; the
+#: rest answer 405 instead of dying on the wire magic check)
+_HTTP_VERBS = (b"GET ", b"HEAD ", b"POST ", b"PUT ", b"DELETE ",
+               b"OPTIONS ", b"PATCH ", b"TRACE ")
 
 
 class ProfileServer:
@@ -73,6 +97,8 @@ class ProfileServer:
         timeout: Optional[float] = None,
         drain_timeout: float = 30.0,
         top_k: int = 10,
+        slo_window: float = 300.0,
+        slo_targets: Optional[SloTargets] = None,
     ):
         self.root = root
         self.host = host
@@ -81,6 +107,7 @@ class ProfileServer:
         self.top_k = top_k
         self.tenants = TenantManager(root)
         self.registry = MetricsRegistry()
+        self.slo = SloTracker(window_seconds=slo_window, targets=slo_targets)
         self.queue = JobQueue(
             self._execute, workers=workers, capacity=capacity,
             retries=retries, timeout=timeout, observer=self._observe,
@@ -107,7 +134,7 @@ class ProfileServer:
         telemetry.histogram(name, **labels).observe(milliseconds)
 
     def _observe(self, what: str, job: Job) -> None:
-        """Queue observer: gauges, outcome counters, spool cleanup."""
+        """Queue observer: gauges, outcome counters, SLOs, spool cleanup."""
         self._gauge("service.queue.depth", self.queue.depth())
         self._gauge("service.jobs.in_flight", self.queue.in_flight())
         if what == "retry":
@@ -116,10 +143,24 @@ class ProfileServer:
         if what not in (DONE, FAILED):
             return
         self._bump(f"service.jobs.{what}")
+        latency_ms = 0.0
         if job.started_at is not None and job.finished_at is not None:
-            self._observe_ms("service.ingest_ms",
-                             (job.finished_at - job.started_at) * 1000.0,
+            latency_ms = (job.finished_at - job.started_at) * 1000.0
+            self._observe_ms("service.ingest_ms", latency_ms,
                              tenant=job.tenant)
+        if job.shed:
+            self.slo.record_shed(job.tenant)
+        else:
+            self.slo.record_ingest(job.tenant, latency_ms, ok=(what == DONE))
+        trace = job.trace
+        if trace is not None and job.started_at is not None:
+            # the queue wait is only known once a worker picked the job
+            # up (or expired it) — record it retroactively into the trace
+            telemetry.emit_span(
+                "server.queue_wait", trace.get("enqueued_time", 0.0),
+                job.started_at - job.enqueued_at,
+                trace_id=trace.get("id"), parent_uid=trace.get("parent"),
+                ok=not job.shed, job=job.job_id, tenant=job.tenant)
         if job.path:
             try:
                 os.unlink(job.path)
@@ -129,17 +170,30 @@ class ProfileServer:
     # -- job execution (worker threads) --------------------------------------
 
     def _execute(self, job: Job) -> Dict:
+        trace = job.trace
+        tele = telemetry.current()
+        if trace is None or not tele.enabled:
+            return self._ingest_job(job)
+        # continue the upload's trace on this worker thread: the spans
+        # land in the server log with the request span as their parent
+        with tele.trace(trace.get("id"), trace.get("parent")):
+            with tele.span("server.execute", tenant=job.tenant,
+                           job=job.job_id):
+                return self._ingest_job(job)
+
+    def _ingest_job(self, job: Job) -> Dict:
         params = job.params
-        with self.tenants.lock(job.tenant):
-            store = self.tenants.store(job.tenant)
-            result = ingest_path(
-                store, job.path,
-                run_id=params.get("run_id"),
-                git_sha=params.get("git_sha") or "",
-                timestamp=params.get("timestamp") or "-",
-                scale=float(params.get("scale") or 0.0),
-                top_k=int(params.get("top_k") or self.top_k),
-            )
+        with telemetry.span("server.ingest", tenant=job.tenant):
+            with self.tenants.lock(job.tenant):
+                store = self.tenants.store(job.tenant)
+                result = ingest_path(
+                    store, job.path,
+                    run_id=params.get("run_id"),
+                    git_sha=params.get("git_sha") or "",
+                    timestamp=params.get("timestamp") or "-",
+                    scale=float(params.get("scale") or 0.0),
+                    top_k=int(params.get("top_k") or self.top_k),
+                )
         if not result.ingested:
             self._bump("service.uploads.duplicate")
         return {
@@ -241,22 +295,35 @@ class ProfileServer:
             self._clients.pop(client_id, None)
 
     def _serve_client(self, sock: socket.socket, client_id: int) -> None:
+        accepted_time = time.time()
+        accept_wall0 = time.perf_counter()
+        first_frame = True
         try:
             kind = self._peek_kind(sock)
             if kind == "http":
                 self._serve_http(sock)
                 return
             while not self._shutdown.is_set():
+                recv_time = time.time()
+                recv_wall0 = time.perf_counter()
                 try:
                     frame = recv_frame(sock, eof_ok=True)
                 except WireError as error:
                     self._bump("service.requests.malformed")
                     self._reply_error(sock, str(error))
                     return
+                recv_wall = time.perf_counter() - recv_wall0
                 if frame is None:
                     return
                 header, payload = frame
-                if not self._handle(sock, header, payload):
+                accept_wall = (recv_wall0 - accept_wall0) if first_frame else None
+                keep_going = self._dispatch(
+                    sock, header, payload,
+                    accepted_time=accepted_time if first_frame else None,
+                    accept_wall=accept_wall,
+                    recv_time=recv_time, recv_wall=recv_wall)
+                first_frame = False
+                if not keep_going:
                     return
         except OSError:
             pass                    # client went away mid-conversation
@@ -268,12 +335,35 @@ class ProfileServer:
                 pass
 
     def _peek_kind(self, sock: socket.socket) -> str:
-        """``http`` when the first bytes spell a GET, else ``wire``."""
+        """``http`` when the first bytes spell an HTTP verb, else ``wire``."""
         try:
-            head = sock.recv(4, socket.MSG_PEEK)
+            head = sock.recv(8, socket.MSG_PEEK)
         except OSError:
             return "wire"
-        return "http" if head[:4] == b"GET " else "wire"
+        if head[: len(MAGIC)] == MAGIC:
+            return "wire"
+        if any(head[: len(verb)] == verb for verb in _HTTP_VERBS):
+            return "http"
+        return "wire"
+
+    def _dispatch(self, sock: socket.socket, header: Dict, payload: bytes,
+                  accepted_time: Optional[float], accept_wall: Optional[float],
+                  recv_time: float, recv_wall: float) -> bool:
+        """Handle one frame, continuing the client's trace when it sent one."""
+        carrier = header.get("trace")
+        tele = telemetry.current()
+        if not (isinstance(carrier, dict) and carrier.get("id")
+                and tele.enabled):
+            return self._handle(sock, header, payload)
+        with tele.trace(str(carrier["id"]), carrier.get("parent")):
+            with tele.span("server.request", op=header.get("op")):
+                # the socket work happened before the trace id was known;
+                # link it retroactively under the request span
+                if accepted_time is not None and accept_wall is not None:
+                    tele.emit_span("server.accept", accepted_time, accept_wall)
+                tele.emit_span("server.decode", recv_time, recv_wall,
+                               bytes=len(payload))
+                return self._handle(sock, header, payload)
 
     # -- request dispatch ----------------------------------------------------
 
@@ -344,8 +434,10 @@ class ProfileServer:
         os.makedirs(spool_dir, exist_ok=True)
         path = os.path.join(
             spool_dir, f"{job_id}-{digest[:8]}{artefact_suffix(payload)}")
-        with open(path, "wb") as stream:
-            stream.write(payload)
+        with telemetry.span("server.spool", tenant=tenant,
+                            bytes=len(payload)):
+            with open(path, "wb") as stream:
+                stream.write(payload)
         job = Job(job_id, tenant, "ingest", path=path, params={
             "run_id": run_id if header.get("run_id") else None,
             "git_sha": str(header.get("git_sha") or ""),
@@ -353,6 +445,12 @@ class ProfileServer:
             "scale": float(header.get("scale") or 0.0),
             "top_k": int(header.get("top_k") or self.top_k),
         })
+        carrier = telemetry.trace_carrier()
+        if carrier is not None:
+            # hand the trace across the queue: the worker re-activates it
+            job.trace = {"id": carrier.get("id"),
+                         "parent": carrier.get("parent"),
+                         "enqueued_time": time.time()}
         try:
             self.queue.submit(job)
         except (QueueFull, QueueClosed) as error:
@@ -360,6 +458,7 @@ class ProfileServer:
             reason = ("draining" if isinstance(error, QueueClosed)
                       else "queue_full")
             self._bump("service.uploads.rejected", reason=reason)
+            self.slo.record_shed(tenant)
             self._reply_error(sock, str(error), status="rejected",
                               reason=reason)
             return True
@@ -451,12 +550,31 @@ class ProfileServer:
             "tenants": self.tenants.tenants(),
             "draining": self._shutdown.is_set(),
             "metrics": self.registry.snapshot(),
+            "slo": self.slo.snapshot(),
         }
+
+    def _slo_metric_entries(self) -> List[Dict]:
+        """The SLO snapshot as synthetic gauge entries for ``/metrics``."""
+        entries: List[Dict] = []
+
+        def gauge(name: str, tenant: str, value: float) -> None:
+            entries.append({"kind": "gauge", "name": name,
+                            "labels": {"tenant": tenant}, "value": value})
+
+        for tenant, state in self.slo.snapshot().items():
+            for quantile, value in state["latency_ms"].items():
+                gauge(f"service.slo.latency_{quantile}_ms", tenant, value)
+            gauge("service.slo.error_rate", tenant, state["error_rate"])
+            gauge("service.slo.shed_rate", tenant, state["shed_rate"])
+            for burn, value in state["burn"].items():
+                gauge(f"service.slo.burn.{burn}", tenant, value)
+            gauge("service.slo.alerts", tenant, len(state["alerts"]))
+        return entries
 
     # -- read-only HTTP fallback ---------------------------------------------
 
     def _serve_http(self, sock: socket.socket) -> None:
-        """One-shot ``GET`` handler on the same port (browser dashboards)."""
+        """One-shot ``GET``/``HEAD`` handler on the same port."""
         self._bump("service.requests", op="http")
         data = b""
         while b"\r\n\r\n" not in data and b"\n\n" not in data:
@@ -464,10 +582,16 @@ class ProfileServer:
             if not chunk or len(data) > (1 << 16):
                 break
             data += chunk
-        try:
-            target = data.split(None, 2)[1].decode("utf-8", "replace")
-        except IndexError:
+        parts = data.split(None, 2)
+        if len(parts) < 2:
             self._http_reply(sock, 400, "text/plain", b"bad request")
+            return
+        method = parts[0].decode("utf-8", "replace")
+        target = parts[1].decode("utf-8", "replace")
+        if method not in ("GET", "HEAD"):
+            self._http_reply(sock, 405, "text/plain",
+                             f"method {method} not allowed".encode("utf-8"),
+                             extra_headers=(("Allow", "GET, HEAD"),))
             return
         try:
             status, ctype, body = self._http_route(target.split("?", 1)[0])
@@ -476,25 +600,52 @@ class ProfileServer:
         except Exception as error:  # noqa: BLE001 - connection boundary
             status, ctype, body = (500, "text/plain",
                                    f"internal error: {error}".encode())
-        self._http_reply(sock, status, ctype, body)
+        self._http_reply(sock, status, ctype, body,
+                         head_only=(method == "HEAD"))
 
     def _http_route(self, path: str) -> Tuple[int, str, bytes]:
         from ..observatory import render_observatory_html, render_observatory_report
 
         if path in ("/", ""):
+            slo = self.slo.snapshot()
             rows = "".join(
                 f'<li><a href="/{name}">{name}</a> '
                 f'(<a href="/{name}/alerts">alerts</a>, '
                 f'<a href="/{name}/runs">runs</a>)</li>'
                 for name in self.tenants.tenants())
+            slo_rows = "".join(
+                f"<tr><td>{tenant}</td>"
+                f"<td>{state['latency_ms']['p99']:.1f}</td>"
+                f"<td>{state['burn']['latency_p99']:.2f}</td>"
+                f"<td>{state['burn']['error']:.2f}</td>"
+                f"<td>{state['burn']['shed']:.2f}</td>"
+                f"<td>{', '.join(state['alerts']) or '-'}</td></tr>"
+                for tenant, state in slo.items())
+            slo_table = (
+                "<h2>SLO burn (rolling window)</h2>"
+                "<table border=1><tr><th>tenant</th><th>p99 ms</th>"
+                "<th>latency burn</th><th>error burn</th>"
+                "<th>shed burn</th><th>alerts</th></tr>"
+                f"{slo_rows}</table>" if slo_rows else "")
             body = (f"<!DOCTYPE html><title>repro service</title>"
                     f"<h1>profile observatory service</h1>"
                     f"<ul>{rows or '<li>(no tenants yet)</li>'}</ul>"
-                    f'<p><a href="/stats">server stats</a></p>')
+                    f"{slo_table}"
+                    f'<p><a href="/stats">server stats</a> &middot; '
+                    f'<a href="/metrics">metrics</a> &middot; '
+                    f'<a href="/slo">slo</a></p>')
             return 200, "text/html; charset=utf-8", body.encode("utf-8")
         if path == "/stats":
             return (200, "application/json",
                     json.dumps(self.stats(), sort_keys=True).encode("utf-8"))
+        if path == "/metrics":
+            snapshot = self.registry.snapshot() + self._slo_metric_entries()
+            return (200, PROMETHEUS_CONTENT_TYPE,
+                    render_prometheus(snapshot).encode("utf-8"))
+        if path == "/slo":
+            return (200, "application/json",
+                    json.dumps(self.slo.snapshot(),
+                               sort_keys=True).encode("utf-8"))
         parts = [part for part in path.split("/") if part]
         tenant = validate_tenant(parts[0])
         view = parts[1] if len(parts) > 1 else "html"
@@ -519,14 +670,20 @@ class ProfileServer:
         return 404, "text/plain", f"no such view {view!r}".encode("utf-8")
 
     def _http_reply(self, sock: socket.socket, status: int, ctype: str,
-                    body: bytes) -> None:
+                    body: bytes,
+                    extra_headers: Tuple[Tuple[str, str], ...] = (),
+                    head_only: bool = False) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed",
                   500: "Internal Server Error"}.get(status, "OK")
+        extras = "".join(f"{name}: {value}\r\n"
+                         for name, value in extra_headers)
         head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extras}"
                 f"Connection: close\r\n\r\n").encode("utf-8")
         try:
-            sock.sendall(head + body)
+            sock.sendall(head + (b"" if head_only else body))
         except OSError:
             pass

@@ -12,10 +12,14 @@ the analysis).
 A configurable fraction of uploads are deliberate re-sends of an
 earlier artefact, so the run also exercises (and counts) the server's
 at-the-door duplicate rejection.  The report reduces to p50/p95/p99
-upload latencies, throughput, and accepted/duplicate/rejected tallies;
-:func:`build_envelope` wraps it as a ``repro-bench/1`` envelope whose
-``gate.latency_ms`` section ``tools/bench_gate.py`` gates on — the
-service is itself a benchmarked workload under the regression gate.
+upload latencies (the shared log2-bucket estimator — the same one the
+server's SLO tracker uses), throughput, and
+accepted/duplicate/rejected tallies; after the swarm the run fetches
+the server's per-tenant SLO snapshot for its own tenant, so
+:func:`build_envelope` can wrap both as a ``repro-bench/1`` envelope
+whose ``gate.latency_ms`` and ``gate.slo`` sections
+``tools/bench_gate.py`` gates on — the service is itself a benchmarked
+workload under the regression gate, SLO burn included.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from ..telemetry.registry import bucket_counts, quantile_from_buckets
 from .client import ServiceClient, ServiceError
 
 __all__ = ["SlapReport", "slap", "synthetic_artefact", "build_envelope"]
@@ -45,6 +50,7 @@ class SlapReport:
         self.errors = 0            #: transport failures
         self.latencies_ms: List[float] = []
         self.wall_seconds = 0.0
+        self.slo: Optional[Dict] = None    #: server-side SLO state post-run
         self._lock = threading.Lock()
 
     @property
@@ -52,13 +58,16 @@ class SlapReport:
         return self.clients * self.uploads_per_client
 
     def percentile(self, fraction: float) -> float:
-        """Nearest-rank percentile of the upload latency (ms)."""
+        """Estimated upload-latency percentile (ms), log2-bucket resolution.
+
+        Uses the shared estimator from :mod:`repro.telemetry.registry`
+        so slap-reported and server-SLO-reported quantiles agree in
+        method, not just in spirit.
+        """
         if not self.latencies_ms:
             return 0.0
-        ordered = sorted(self.latencies_ms)
-        rank = max(0, min(len(ordered) - 1,
-                          int(round(fraction * len(ordered) + 0.5)) - 1))
-        return ordered[rank]
+        return quantile_from_buckets(bucket_counts(self.latencies_ms),
+                                     len(self.latencies_ms), fraction)
 
     @property
     def p50_ms(self) -> float:
@@ -91,6 +100,14 @@ class SlapReport:
             f"  latency ms p50 {self.p50_ms:.2f}  p95 {self.p95_ms:.2f}  "
             f"p99 {self.p99_ms:.2f}",
         ]
+        if self.slo:
+            burn = self.slo.get("burn", {})
+            alerts = self.slo.get("alerts", [])
+            lines.append(
+                f"  server slo burn: latency {burn.get('latency_p99', 0):.2f}"
+                f"  error {burn.get('error', 0):.2f}"
+                f"  shed {burn.get('shed', 0):.2f}"
+                f"  alerts {', '.join(alerts) if alerts else '-'}")
         return "\n".join(lines) + "\n"
 
 
@@ -186,6 +203,11 @@ def slap(
     for thread in threads:
         thread.join()
     report.wall_seconds = time.perf_counter() - started
+    try:
+        with ServiceClient(host, port, tenant=tenant) as client:
+            report.slo = client.stats().get("slo", {}).get(tenant)
+    except (OSError, ServiceError):
+        report.slo = None       # server gone or too old to report SLOs
     return report
 
 
@@ -200,8 +222,22 @@ def build_envelope(
     ``gate.latency_ms`` carries the p99 upload latency — the gate fails
     when it *grows* past tolerance (latency gates are inverted relative
     to ratio gates); ``gate.throughput`` carries uploads/s, gated only
-    under ``--absolute`` like every machine-bound number.
+    under ``--absolute`` like every machine-bound number; ``gate.slo``
+    carries the server-reported burn rates, inverted like latency and
+    additionally hard-failed when any burn reaches 1.0.
     """
+    slo_metrics: Dict = {}
+    gate_slo: Dict = {}
+    if report.slo:
+        burn = report.slo.get("burn", {})
+        slo_metrics = {
+            "latency_p99_ms": report.slo.get("latency_ms", {}).get("p99", 0.0),
+            "error_rate": report.slo.get("error_rate", 0.0),
+            "shed_rate": report.slo.get("shed_rate", 0.0),
+            "alerts": len(report.slo.get("alerts", [])),
+        }
+        gate_slo = {"error_burn": burn.get("error", 0.0),
+                    "shed_burn": burn.get("shed", 0.0)}
     return {
         "schema": "repro-bench/1",
         "run_id": run_id or f"slap-{int(time.time() * 1000):x}",
@@ -222,11 +258,13 @@ def build_envelope(
                 "p95": report.p95_ms,
                 "p99": report.p99_ms,
             },
+            **({"slo": slo_metrics} if slo_metrics else {}),
             "gate": {
                 "scale": float(report.clients),
                 "ratios": {},
                 "throughput": {"uploads_per_s": report.uploads_per_second},
                 "latency_ms": {"put_p99": report.p99_ms},
+                **({"slo": gate_slo} if gate_slo else {}),
             },
         },
     }

@@ -24,6 +24,8 @@ bit-identical output with telemetry on and off.  See docs/TELEMETRY.md.
 """
 
 from .jsonl import TELEMETRY_FILENAME, JsonlSink, TelemetryRun, iter_records, resolve_log_path
+from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .prometheus import render_prometheus
 from .registry import (
     Counter,
     Gauge,
@@ -31,8 +33,11 @@ from .registry import (
     MetricsRegistry,
     NullRegistry,
     bucket_bound,
+    bucket_counts,
     bucket_index,
     merge_snapshots,
+    quantile_from_buckets,
+    quantiles_from_buckets,
 )
 from .spans import (
     NULL,
@@ -42,11 +47,15 @@ from .spans import (
     counter,
     current,
     disable,
+    emit_span,
     event,
     gauge,
     histogram,
+    new_trace_id,
     session,
     span,
+    trace,
+    trace_carrier,
 )
 
 __all__ = [
@@ -55,14 +64,19 @@ __all__ = [
     "TelemetryRun",
     "iter_records",
     "resolve_log_path",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
     "bucket_bound",
+    "bucket_counts",
     "bucket_index",
     "merge_snapshots",
+    "quantile_from_buckets",
+    "quantiles_from_buckets",
     "NULL",
     "NullTelemetry",
     "Telemetry",
@@ -70,9 +84,13 @@ __all__ = [
     "counter",
     "current",
     "disable",
+    "emit_span",
     "event",
     "gauge",
     "histogram",
+    "new_trace_id",
     "session",
     "span",
+    "trace",
+    "trace_carrier",
 ]

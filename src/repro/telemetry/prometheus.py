@@ -1,0 +1,140 @@
+"""Prometheus text exposition of a metrics-registry snapshot.
+
+:func:`render_prometheus` turns the JSON-ready snapshot of a
+:class:`~repro.telemetry.registry.MetricsRegistry` into the Prometheus
+text exposition format (version 0.0.4) that every standard scraper
+understands — the ``/metrics`` route of ``repro serve`` renders it on
+demand straight from the server's live registry.
+
+The mapping is mechanical and lossless:
+
+* metric names are sanitized into the ``[a-zA-Z_:][a-zA-Z0-9_:]*``
+  grammar (dots become underscores: ``service.ingest_ms`` →
+  ``service_ingest_ms``); counters additionally get the conventional
+  ``_total`` suffix;
+* labels pass through with escaped values;
+* the fixed log2 histograms become cumulative ``_bucket`` series:
+  bucket ``i`` (observations in ``(2**(i-1), 2**i]``) contributes a
+  ``le="2**i"`` bound, plus the mandatory ``le="+Inf"`` bucket, plus
+  the ``_sum`` / ``_count`` pair.  Fixed boundaries mean the exposed
+  buckets are stable across processes and scrapes — exactly what
+  Prometheus' ``histogram_quantile`` needs.
+
+``tools/check_metrics.py`` validates the rendered output in CI (name
+grammar, cumulative monotonicity, ``+Inf`` == ``_count``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from .registry import bucket_bound
+
+__all__ = ["CONTENT_TYPE", "metric_name", "escape_label", "render_prometheus"]
+
+#: the Content-Type a /metrics response must declare
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """``name`` sanitized into the Prometheus metric-name grammar."""
+    cleaned = _NAME_BAD_CHARS.sub("_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label(value: object) -> str:
+    """A label value escaped for the text exposition format."""
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _label_text(labels: Dict, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = [(metric_name(str(key)), escape_label(value))
+             for key, value in sorted(labels.items())]
+    items.extend(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{key}="{value}"' for key, value in items) + "}"
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value == math.inf:
+            return "+Inf"
+        if value != value:  # NaN
+            return "NaN"
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    return "0"
+
+
+def _le_text(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    return f"{bound:g}"
+
+
+def render_prometheus(snapshot: List[Dict]) -> str:
+    """The registry snapshot in Prometheus text exposition format.
+
+    ``snapshot`` is what ``MetricsRegistry.snapshot()`` (or
+    ``merge_snapshots``) returns; entries sharing a name form one
+    metric family (one ``# TYPE`` line, many labeled samples).
+    """
+    families: Dict[Tuple[str, str], List[Dict]] = {}
+    order: List[Tuple[str, str]] = []
+    for entry in snapshot:
+        kind = entry.get("kind")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        exposed = metric_name(str(entry.get("name", "")))
+        if kind == "counter" and not exposed.endswith("_total"):
+            exposed += "_total"
+        key = (exposed, kind)
+        if key not in families:
+            families[key] = []
+            order.append(key)
+        families[key].append(entry)
+
+    lines: List[str] = []
+    for exposed, kind in order:
+        lines.append(f"# TYPE {exposed} {kind}")
+        for entry in families[(exposed, kind)]:
+            labels = entry.get("labels") or {}
+            if kind in ("counter", "gauge"):
+                lines.append(f"{exposed}{_label_text(labels)} "
+                             f"{_format_value(entry.get('value', 0))}")
+                continue
+            # histogram: cumulative buckets over the fixed log2 bounds
+            buckets = sorted((int(index), int(count))
+                             for index, count in
+                             (entry.get("buckets") or {}).items())
+            cumulative = 0
+            for index, count in buckets:
+                cumulative += count
+                bound = bucket_bound(index)
+                if bound == math.inf:
+                    continue        # folded into the +Inf bucket below
+                lines.append(
+                    f"{exposed}_bucket"
+                    f"{_label_text(labels, (('le', _le_text(bound)),))} "
+                    f"{cumulative}")
+            count_total = int(entry.get("count", cumulative))
+            lines.append(
+                f"{exposed}_bucket{_label_text(labels, (('le', '+Inf'),))} "
+                f"{count_total}")
+            lines.append(f"{exposed}_sum{_label_text(labels)} "
+                         f"{_format_value(float(entry.get('sum', 0.0)))}")
+            lines.append(f"{exposed}_count{_label_text(labels)} "
+                         f"{count_total}")
+    return "\n".join(lines) + ("\n" if lines else "")

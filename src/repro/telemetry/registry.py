@@ -39,6 +39,9 @@ __all__ = [
     "NullRegistry",
     "bucket_index",
     "bucket_bound",
+    "bucket_counts",
+    "quantile_from_buckets",
+    "quantiles_from_buckets",
     "merge_snapshots",
 ]
 
@@ -66,6 +69,51 @@ def bucket_bound(index: int) -> float:
     if index >= MAX_BUCKET:
         return math.inf
     return float(2 ** index)
+
+
+def bucket_counts(values) -> Dict[int, int]:
+    """The log2 bucket counts of an iterable of raw observations."""
+    buckets: Dict[int, int] = {}
+    for value in values:
+        index = bucket_index(value)
+        buckets[index] = buckets.get(index, 0) + 1
+    return buckets
+
+
+def quantile_from_buckets(buckets, count: int, fraction: float) -> float:
+    """Estimate one quantile from log2 bucket counts.
+
+    The shared estimator behind every p50/p95/p99 the repo reports from
+    histogram data (``repro slap``, the service SLO tracker): find the
+    bucket holding the nearest-rank observation and interpolate linearly
+    inside its ``(lower, upper]`` range.  Accepts bucket keys as ints or
+    strings (metric snapshots serialize them as strings).  Exact to
+    within one bucket width by construction — the price of mergeable
+    fixed buckets over raw samples.
+    """
+    if count <= 0 or not buckets:
+        return 0.0
+    ordered = sorted((int(index), int(n)) for index, n in buckets.items())
+    rank = min(count, max(1, math.ceil(fraction * count)))
+    cumulative = 0
+    for index, n in ordered:
+        if n <= 0:
+            continue
+        if cumulative + n >= rank:
+            lower = 0.0 if index == 0 else bucket_bound(index - 1)
+            upper = bucket_bound(index)
+            if upper == math.inf:       # unbounded overflow bucket:
+                return lower            # report its (huge) lower bound
+            position = (rank - cumulative) / n
+            return lower + position * (upper - lower)
+        cumulative += n
+    return bucket_bound(ordered[-1][0])
+
+
+def quantiles_from_buckets(buckets, count: int, fractions) -> List[float]:
+    """`quantile_from_buckets` over several fractions (monotone result)."""
+    return [quantile_from_buckets(buckets, count, fraction)
+            for fraction in fractions]
 
 
 class Counter:
@@ -137,6 +185,11 @@ class Histogram:
             self.buckets[index] = self.buckets.get(index, 0) + 1
             self.count += 1
             self.total += value
+
+    def quantile(self, fraction: float) -> float:
+        """Estimated quantile of the observations (log2-bucket resolution)."""
+        with self._lock:
+            return quantile_from_buckets(self.buckets, self.count, fraction)
 
     def snapshot(self) -> Dict:
         with self._lock:
@@ -263,6 +316,9 @@ class NullHistogram:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, fraction: float) -> float:
+        return 0.0
 
 
 _NULL_COUNTER = NullCounter()

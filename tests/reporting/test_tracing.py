@@ -1,0 +1,164 @@
+"""Cross-process trace assembly, rendering, and the `repro trace` CLI."""
+
+import io
+
+from repro.cli import main as cli_main
+from repro.reporting.tracing import (
+    assemble_traces,
+    load_trace_spans,
+    render_trace_waterfall,
+    render_traces_html,
+    slowest,
+)
+from repro.telemetry import Telemetry
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = cli_main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def build_logs(tmp_path, uploads=1):
+    """Client + server logs joined by carriers, like a real upload."""
+    client_dir, server_dir = tmp_path / "cli-tele", tmp_path / "srv-tele"
+    client = Telemetry(str(client_dir))
+    server = Telemetry(str(server_dir))
+    trace_ids = []
+    for _ in range(uploads):
+        with client.trace() as scope:
+            trace_ids.append(scope.trace_id)
+            with client.span("client.put"):
+                carrier = client.trace_carrier()
+                with server.trace(carrier["id"], carrier.get("parent")):
+                    with server.span("server.request"):
+                        with server.span("server.execute"):
+                            with server.span("server.ingest", ok=True):
+                                pass
+    client.close()
+    server.close()
+    return str(client_dir), str(server_dir), trace_ids
+
+
+def test_two_logs_assemble_into_one_tree(tmp_path):
+    client_dir, server_dir, trace_ids = build_logs(tmp_path)
+    traces = assemble_traces(load_trace_spans([client_dir, server_dir]))
+    assert sorted(traces) == sorted(trace_ids)
+    trace = traces[trace_ids[0]]
+    assert trace.is_single_tree()
+    assert trace.sources == ["cli-tele", "srv-tele"]
+    walk = [(span.name, depth) for span, depth in trace.ordered()]
+    assert walk == [("client.put", 0), ("server.request", 1),
+                    ("server.execute", 2), ("server.ingest", 3)]
+
+
+def test_spans_are_rebased_onto_the_wall_clock(tmp_path):
+    client_dir, server_dir, _ = build_logs(tmp_path)
+    spans = load_trace_spans([client_dir, server_dir])
+    starts = [span.start for span in spans]
+    # raw record offsets are near zero; rebased starts are epoch-scale
+    assert all(start > 1e9 for start in starts)
+    assert max(starts) - min(starts) < 60.0
+
+
+def test_missing_parents_make_extra_roots(tmp_path):
+    tele = Telemetry(str(tmp_path / "tele"))
+    with tele.trace() as scope:
+        tele.emit_span("orphan.a", tele.epoch, 0.1, parent_uid="dead-1")
+        tele.emit_span("orphan.b", tele.epoch + 0.2, 0.1, parent_uid="dead-2")
+    tele.close()
+    traces = assemble_traces(load_trace_spans([str(tmp_path / "tele")]))
+    trace = traces[scope.trace_id]
+    assert not trace.is_single_tree()
+    assert len(trace.roots) == 2
+    assert "2 roots (incomplete join)" in render_trace_waterfall(trace)
+
+
+def test_slowest_orders_by_duration(tmp_path):
+    tele = Telemetry(str(tmp_path / "tele"))
+    for name, wall in (("fast", 0.1), ("slow", 0.9), ("mid", 0.5)):
+        with tele.trace():
+            tele.emit_span(name, tele.epoch, wall)
+    tele.close()
+    traces = assemble_traces(load_trace_spans([str(tmp_path / "tele")]))
+    picked = slowest(traces, 2)
+    assert [trace.spans[0].name for trace in picked] == ["slow", "mid"]
+    assert slowest(traces, 0) == []
+    assert len(slowest(traces, 99)) == 3
+
+
+def test_waterfall_renders_axis_sources_and_errors(tmp_path):
+    tele = Telemetry(str(tmp_path / "tele"))
+    with tele.trace() as scope:
+        with tele.span("request"):
+            tele.emit_span("ingest", tele.epoch + 0.01, 0.05, ok=False)
+    tele.close()
+    traces = assemble_traces(load_trace_spans([str(tmp_path / "tele")]))
+    text = render_trace_waterfall(traces[scope.trace_id])
+    assert f"trace {scope.trace_id}" in text
+    assert "2 span(s)" in text and "[tree]" in text
+    assert "request" in text and "  ingest" in text    # depth indent
+    assert "#" in text and "@tele" in text
+    assert "ERROR" in text
+
+
+def test_html_rendering_contains_timelines(tmp_path):
+    client_dir, server_dir, trace_ids = build_logs(tmp_path)
+    traces = assemble_traces(load_trace_spans([client_dir, server_dir]))
+    html = render_traces_html(list(traces.values()), title="t & t")
+    assert "<svg" in html
+    assert trace_ids[0] in html
+    assert "t &amp; t" in html
+    assert render_traces_html([]).count("no traces found") == 1
+
+
+def test_cli_trace_renders_waterfalls(tmp_path):
+    client_dir, server_dir, trace_ids = build_logs(tmp_path, uploads=3)
+    code, output = run_cli("trace", client_dir, server_dir)
+    assert code == 0
+    assert "3 trace(s) across 2 log(s); rendering 3" in output
+    assert output.count("client.put") == 3
+
+    code, output = run_cli("trace", client_dir, server_dir, "--slowest", "1")
+    assert code == 0
+    assert "rendering 1" in output
+
+    code, output = run_cli("trace", client_dir, server_dir,
+                           "--trace-id", trace_ids[1])
+    assert code == 0
+    assert f"trace {trace_ids[1]}" in output
+
+    code, output = run_cli("trace", client_dir, "--trace-id", "nope")
+    assert code == 2
+    assert "error" in output
+
+
+def test_cli_trace_html_and_assertions(tmp_path):
+    client_dir, server_dir, _ = build_logs(tmp_path)
+    html_path = tmp_path / "traces.html"
+    code, output = run_cli("trace", client_dir, server_dir,
+                           "--html", str(html_path), "--assert-linked", "4")
+    assert code == 0
+    assert "assertion ok" in output
+    assert "<svg" in html_path.read_text(encoding="utf-8")
+
+    code, output = run_cli("trace", client_dir, server_dir,
+                           "--assert-linked", "99")
+    assert code == 1
+    assert "assertion failed" in output
+
+    # the client log alone is a partial trace: linked, but only 1 span
+    code, output = run_cli("trace", client_dir, "--assert-linked", "2")
+    assert code == 1
+
+
+def test_cli_trace_without_traced_spans(tmp_path):
+    tele = Telemetry(str(tmp_path / "tele"))
+    with tele.span("untraced"):
+        pass
+    tele.close()
+    code, output = run_cli("trace", str(tmp_path / "tele"))
+    assert code == 0
+    assert "no traced spans" in output
+    code, _ = run_cli("trace", str(tmp_path / "tele"), "--assert-linked", "1")
+    assert code == 1

@@ -10,8 +10,10 @@ import io
 import os
 import threading
 
+from repro import telemetry
 from repro.cli import main as cli_main
 from repro.observatory import HISTORY_FILENAME, ObservatoryStore, detect_drift
+from repro.reporting.tracing import assemble_traces, load_trace_spans
 from repro.service import ServiceClient, build_envelope, slap
 
 from .util import profile_dump_bytes, running_server
@@ -60,28 +62,33 @@ def test_server_matches_observe_ingest_under_100_clients(tmp_path):
                     out=out)
     assert code == 0, out.getvalue()
 
-    # online: one upload per concurrent client, against one tenant
+    # online: one upload per concurrent client, against one tenant —
+    # with tracing ON, so the byte-identity assertions below also prove
+    # that trace contexts never leak into the profile store
     replies = []
     failures = []
-    with running_server(tmp_path, workers=4, capacity=2 * CLIENTS) as server:
-        barrier = threading.Barrier(CLIENTS)
+    tele_root = str(tmp_path / "tele")
+    with telemetry.session(tele_root):
+        with running_server(tmp_path, workers=4,
+                            capacity=2 * CLIENTS) as server:
+            barrier = threading.Barrier(CLIENTS)
 
-        def upload(path):
-            try:
-                with ServiceClient(server.host, server.port,
-                                   tenant="fleet") as client:
-                    barrier.wait(timeout=30.0)
-                    replies.append(client.put_file(path, wait=True))
-            except Exception as error:  # noqa: BLE001 - collected for assert
-                failures.append(f"{path}: {error}")
+            def upload(path):
+                try:
+                    with ServiceClient(server.host, server.port,
+                                       tenant="fleet") as client:
+                        barrier.wait(timeout=30.0)
+                        replies.append(client.put_file(path, wait=True))
+                except Exception as error:  # noqa: BLE001 - for the assert
+                    failures.append(f"{path}: {error}")
 
-        threads = [threading.Thread(target=upload, args=(path,))
-                   for path in paths]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join(timeout=120.0)
-        online_root = server.tenants.path("fleet")
+            threads = [threading.Thread(target=upload, args=(path,))
+                       for path in paths]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            online_root = server.tenants.path("fleet")
 
     assert failures == []
     assert len(replies) == CLIENTS                       # zero dropped
@@ -102,6 +109,18 @@ def test_server_matches_observe_ingest_under_100_clients(tmp_path):
         online_alerts = detect_drift(store)
     assert offline_alerts == online_alerts
     assert any(alert.routine == "victim" for alert in offline_alerts)
+
+    # every upload left one complete cross-layer trace in the log
+    traces = assemble_traces(load_trace_spans([tele_root]))
+    puts = [trace for trace in traces.values()
+            if any(span.name == "client.put" for span in trace.spans)]
+    assert len(puts) == CLIENTS
+    for trace in puts:
+        assert trace.is_single_tree()
+        assert len(trace.spans) >= 6
+        names = {span.name for span in trace.spans}
+        assert {"client.put", "server.request", "server.queue_wait",
+                "server.execute", "server.ingest"} <= names
 
 
 def test_slap_swarm_counts_and_envelope(tmp_path):
@@ -125,11 +144,19 @@ def test_slap_swarm_counts_and_envelope(tmp_path):
     rendered = report.render()
     assert "accepted" in rendered and "p99" in rendered
 
+    # the swarm pulled the server's SLO state for its tenant post-run
+    assert report.slo is not None
+    assert report.slo["ingests"] >= report.accepted
+    assert report.slo["error_rate"] == 0.0
+    assert "server slo burn" in rendered
+
     envelope = build_envelope(report, run_id="slap-test", git_sha="sha")
     assert envelope["schema"] == "repro-bench/1"
     assert envelope["bench"] == "service_slap"
     assert envelope["metrics"]["accepted"] == report.accepted
+    assert envelope["metrics"]["slo"]["error_rate"] == 0.0
     gate = envelope["metrics"]["gate"]
     assert gate["latency_ms"]["put_p99"] == report.p99_ms
     assert gate["throughput"]["uploads_per_s"] == report.uploads_per_second
+    assert gate["slo"] == {"error_burn": 0.0, "shed_burn": 0.0}
     assert gate["ratios"] == {}

@@ -1,0 +1,102 @@
+"""SLO tracker: windows, quantiles, burn rates, alerts, aging."""
+
+from repro.service import SloTargets, SloTracker
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def tracker(clock, **kwargs):
+    kwargs.setdefault("window_seconds", 100.0)
+    kwargs.setdefault("slices", 10)
+    return SloTracker(clock=clock, **kwargs)
+
+
+def test_empty_tracker_snapshots_nothing():
+    assert tracker(FakeClock()).snapshot() == {}
+
+
+def test_latency_quantiles_and_counts():
+    clock = FakeClock()
+    slo = tracker(clock)
+    for latency in (1.0, 2.0, 4.0, 8.0, 1000.0):
+        slo.record_ingest("web", latency)
+    state = slo.snapshot()["web"]
+    assert state["ingests"] == 5
+    assert state["failed"] == 0 and state["shed"] == 0
+    assert state["error_rate"] == 0.0 and state["shed_rate"] == 0.0
+    assert state["latency_ms"]["p50"] <= state["latency_ms"]["p95"] \
+        <= state["latency_ms"]["p99"]
+    assert state["latency_ms"]["p99"] > 100      # dominated by the outlier
+
+
+def test_error_burn_and_alert():
+    clock = FakeClock()
+    slo = tracker(clock, targets=SloTargets(p99_ms=1e9, error_budget=0.10))
+    for index in range(10):
+        slo.record_ingest("web", 1.0, ok=(index > 0))   # 1/10 failed
+    state = slo.snapshot()["web"]
+    assert state["error_rate"] == 0.1
+    assert state["burn"]["error"] == 1.0
+    assert "error_burn" in state["alerts"]
+    assert "latency_p99_burn" not in state["alerts"]
+
+
+def test_shed_rate_counts_against_offered():
+    clock = FakeClock()
+    slo = tracker(clock, targets=SloTargets(p99_ms=1e9, shed_budget=0.5))
+    for _ in range(3):
+        slo.record_ingest("web", 1.0)
+    slo.record_shed("web")
+    state = slo.snapshot()["web"]
+    assert state["shed"] == 1
+    assert state["shed_rate"] == 0.25            # 1 shed / 4 offered
+    assert state["burn"]["shed"] == 0.5
+    assert state["alerts"] == []
+
+
+def test_latency_burn_alert():
+    clock = FakeClock()
+    slo = tracker(clock, targets=SloTargets(p99_ms=10.0))
+    slo.record_ingest("web", 500.0)
+    state = slo.snapshot()["web"]
+    assert state["burn"]["latency_p99"] >= 1.0
+    assert "latency_p99_burn" in state["alerts"]
+
+
+def test_observations_age_out_of_the_window():
+    clock = FakeClock()
+    slo = tracker(clock)                 # 100s window, 10s slices
+    slo.record_ingest("web", 5.0, ok=False)
+    clock.advance(50.0)
+    slo.record_ingest("web", 5.0)
+    assert slo.snapshot()["web"]["ingests"] == 2
+    assert slo.snapshot()["web"]["failed"] == 1
+    clock.advance(75.0)                  # first ingest now out of window
+    state = slo.snapshot()["web"]
+    assert state["ingests"] == 1
+    assert state["failed"] == 0
+    clock.advance(200.0)                 # everything aged out
+    state = slo.snapshot()["web"]
+    assert state["ingests"] == 0
+    assert state["latency_ms"]["p99"] == 0.0
+    assert state["alerts"] == []
+
+
+def test_tenants_are_isolated():
+    clock = FakeClock()
+    slo = tracker(clock)
+    slo.record_ingest("a", 1.0)
+    slo.record_ingest("b", 1.0, ok=False)
+    snapshot = slo.snapshot()
+    assert sorted(snapshot) == ["a", "b"]
+    assert snapshot["a"]["failed"] == 0
+    assert snapshot["b"]["failed"] == 1

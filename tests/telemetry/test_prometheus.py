@@ -1,0 +1,87 @@
+"""Prometheus text exposition of registry snapshots."""
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.prometheus import (
+    CONTENT_TYPE,
+    escape_label,
+    metric_name,
+    render_prometheus,
+)
+from tools.check_metrics import check_metrics_text
+
+
+def test_content_type_declares_the_text_format():
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+def test_metric_name_sanitization():
+    assert metric_name("service.ingest_ms") == "service_ingest_ms"
+    assert metric_name("a-b c") == "a_b_c"
+    assert metric_name("9lives") == "_9lives"
+    assert metric_name("fine_name:ok") == "fine_name:ok"
+
+
+def test_label_escaping():
+    assert escape_label('say "hi"\n') == r'say \"hi\"\n'
+    assert escape_label("back\\slash") == r"back\\slash"
+
+
+def test_counters_get_the_total_suffix():
+    text = render_prometheus([
+        {"kind": "counter", "name": "service.requests",
+         "labels": {"op": "put"}, "value": 3},
+        {"kind": "counter", "name": "retries_total", "labels": {},
+         "value": 1},
+    ])
+    assert "# TYPE service_requests_total counter" in text
+    assert 'service_requests_total{op="put"} 3' in text
+    assert "retries_total 1" in text
+    assert "retries_total_total" not in text
+
+
+def test_gauges_render_plainly():
+    text = render_prometheus([
+        {"kind": "gauge", "name": "queue.depth", "labels": {}, "value": 7},
+    ])
+    assert text == "# TYPE queue_depth gauge\nqueue_depth 7\n"
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    text = render_prometheus([
+        {"kind": "histogram", "name": "lat.ms", "labels": {"tenant": "web"},
+         "count": 4, "sum": 70.0, "buckets": {"0": 2, "2": 1, "63": 1}},
+    ])
+    lines = text.splitlines()
+    assert lines[0] == "# TYPE lat_ms histogram"
+    assert 'lat_ms_bucket{tenant="web",le="1"} 2' in lines
+    assert 'lat_ms_bucket{tenant="web",le="4"} 3' in lines
+    # the unbounded log2 bucket folds into +Inf, which equals _count
+    assert 'lat_ms_bucket{tenant="web",le="+Inf"} 4' in lines
+    assert 'lat_ms_sum{tenant="web"} 70.0' in lines
+    assert 'lat_ms_count{tenant="web"} 4' in lines
+
+
+def test_families_group_many_label_sets_under_one_type_line():
+    text = render_prometheus([
+        {"kind": "counter", "name": "hits", "labels": {"op": "a"}, "value": 1},
+        {"kind": "counter", "name": "hits", "labels": {"op": "b"}, "value": 2},
+    ])
+    assert text.count("# TYPE hits_total counter") == 1
+
+
+def test_unknown_kinds_and_empty_snapshots_are_skipped():
+    assert render_prometheus([]) == ""
+    assert render_prometheus([{"kind": "summary", "name": "x",
+                               "labels": {}, "value": 1}]) == ""
+
+
+def test_live_registry_snapshot_passes_the_ci_checker():
+    registry = MetricsRegistry()
+    registry.counter("service.requests", op="put").inc(5)
+    registry.counter("service.requests", op="stats").inc()
+    registry.gauge("queue.depth").set(3)
+    histogram = registry.histogram("service.ingest_ms", tenant="web")
+    for value in (0.5, 3.0, 900.0, 2.0 ** 70):
+        histogram.observe(value)
+    text = render_prometheus(registry.snapshot())
+    assert check_metrics_text(text) == []

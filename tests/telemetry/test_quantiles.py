@@ -1,0 +1,74 @@
+"""The shared log2-bucket quantile estimator."""
+
+import math
+
+from repro.telemetry.registry import (
+    MAX_BUCKET,
+    Histogram,
+    NullHistogram,
+    bucket_bound,
+    bucket_counts,
+    quantile_from_buckets,
+    quantiles_from_buckets,
+)
+
+
+def test_bucket_counts_maps_values_to_log2_buckets():
+    assert bucket_counts([]) == {}
+    assert bucket_counts([0.5, 1.0, 2.0, 3.0, 1000.0]) == {0: 2, 1: 1,
+                                                           2: 1, 10: 1}
+
+
+def test_quantile_of_nothing_is_zero():
+    assert quantile_from_buckets({}, 0, 0.5) == 0.0
+    assert quantile_from_buckets({}, 10, 0.5) == 0.0
+    assert quantile_from_buckets({0: 1}, 0, 0.5) == 0.0
+
+
+def test_quantile_interpolates_inside_a_bucket():
+    buckets = {1: 4}                     # four observations in (1, 2]
+    assert quantile_from_buckets(buckets, 4, 0.25) == 1.25
+    assert quantile_from_buckets(buckets, 4, 0.50) == 1.5
+    assert quantile_from_buckets(buckets, 4, 1.00) == 2.0
+
+
+def test_quantile_walks_cumulative_counts():
+    buckets = {0: 2, 2: 1, 3: 1}         # ranks 1-2 in (-inf,1], 3 in (2,4]
+    assert quantile_from_buckets(buckets, 4, 0.5) <= 1.0
+    p75 = quantile_from_buckets(buckets, 4, 0.75)
+    assert 2.0 < p75 <= 4.0
+    p100 = quantile_from_buckets(buckets, 4, 1.0)
+    assert 4.0 < p100 <= 8.0
+
+
+def test_overflow_bucket_reports_its_lower_bound():
+    value = quantile_from_buckets({MAX_BUCKET: 1}, 1, 0.99)
+    assert value == bucket_bound(MAX_BUCKET - 1)
+    assert math.isfinite(value)
+
+
+def test_string_keys_match_snapshot_serialization():
+    """Metric snapshots serialize bucket indexes as strings."""
+    assert quantile_from_buckets({"0": 1, "1": 1}, 2, 1.0) == \
+        quantile_from_buckets({0: 1, 1: 1}, 2, 1.0) == 2.0
+
+
+def test_quantiles_are_monotone_in_the_fraction():
+    buckets = bucket_counts([1, 3, 7, 20, 90, 400, 401, 1000, 5000, 5001])
+    fractions = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+    values = quantiles_from_buckets(buckets, 10, fractions)
+    assert values == sorted(values)
+
+
+def test_histogram_quantile_uses_the_shared_estimator():
+    histogram = Histogram("t", ())
+    for value in (1.0, 2.0, 4.0, 8.0, 1000.0):
+        histogram.observe(value)
+    snapshot = histogram.snapshot()
+    assert histogram.quantile(0.95) == quantile_from_buckets(
+        snapshot["buckets"], snapshot["count"], 0.95)
+    assert histogram.quantile(0.95) > 100
+
+
+def test_null_histogram_quantile_is_zero():
+    assert NullHistogram().quantile(0.99) == 0.0

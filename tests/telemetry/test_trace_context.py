@@ -1,0 +1,173 @@
+"""Trace contexts: ids, carriers, retroactive spans, zero-cost default."""
+
+import json
+import os
+import threading
+
+from repro import telemetry
+from repro.telemetry import NULL, Telemetry, TelemetryRun, new_trace_id
+
+
+def test_new_trace_id_is_16_hex():
+    first, second = new_trace_id(), new_trace_id()
+    assert len(first) == 16 and int(first, 16) >= 0
+    assert first != second
+
+
+def test_untraced_spans_have_no_trace_fields(tmp_path):
+    """Without a trace scope, span records are exactly the classic shape."""
+    tele = Telemetry(str(tmp_path))
+    with tele.span("plain"):
+        pass
+    tele.close()
+    span = TelemetryRun.load(str(tmp_path)).spans_named("plain")[0]
+    assert set(span) == {"type", "name", "id", "parent", "start", "wall",
+                         "cpu", "ok"}
+
+
+def test_traced_spans_carry_trace_uid_parent(tmp_path):
+    tele = Telemetry(str(tmp_path))
+    with tele.trace() as scope:
+        with tele.span("outer"):
+            with tele.span("inner"):
+                pass
+    tele.close()
+    run = TelemetryRun.load(str(tmp_path))
+    outer = run.spans_named("outer")[0]
+    inner = run.spans_named("inner")[0]
+    assert outer["trace"] == inner["trace"] == scope.trace_id
+    # uid namespace: pid, telemetry instance, span id — host-unique
+    assert outer["uid"].startswith(f"{os.getpid():x}.")
+    assert outer["uid"].endswith(f"-{outer['id']:x}")
+    assert "parent_uid" not in outer         # root of the local tree
+    assert inner["parent_uid"] == outer["uid"]
+
+
+def test_carrier_roundtrip_links_remote_spans(tmp_path):
+    """Server-side trace() seeded from a carrier parents to the client."""
+    client = Telemetry(str(tmp_path / "client"))
+    with client.trace():
+        with client.span("client.put"):
+            carrier = client.trace_carrier()
+    client.close()
+    assert carrier is not None and "id" in carrier and "parent" in carrier
+
+    server = Telemetry(str(tmp_path / "server"))
+    with server.trace(carrier["id"], carrier.get("parent")):
+        with server.span("server.request"):
+            pass
+    server.close()
+
+    put = TelemetryRun.load(str(tmp_path / "client")).spans_named(
+        "client.put")[0]
+    request = TelemetryRun.load(str(tmp_path / "server")).spans_named(
+        "server.request")[0]
+    assert request["trace"] == put["trace"] == carrier["id"]
+    assert request["parent_uid"] == put["uid"] == carrier["parent"]
+
+
+def test_trace_carrier_is_none_outside_a_scope():
+    tele = Telemetry()
+    assert tele.trace_carrier() is None
+    tele.close()
+
+
+def test_emit_span_records_retroactively(tmp_path):
+    tele = Telemetry(str(tmp_path))
+    with tele.trace() as scope:
+        with tele.span("server.request"):
+            uid = tele.emit_span("server.decode", tele.epoch + 0.5, 0.025,
+                                 bytes=128)
+    explicit = tele.emit_span("server.queue_wait", tele.epoch + 1.0, 0.75,
+                              trace_id=scope.trace_id, parent_uid=uid,
+                              ok=False)
+    untraced = tele.emit_span("loose", tele.epoch, 0.1)
+    tele.close()
+    assert uid is not None and explicit is not None and untraced is None
+
+    run = TelemetryRun.load(str(tmp_path))
+    decode = run.spans_named("server.decode")[0]
+    request = run.spans_named("server.request")[0]
+    wait = run.spans_named("server.queue_wait")[0]
+    loose = run.spans_named("loose")[0]
+    assert decode["parent_uid"] == request["uid"]
+    assert decode["start"] == 0.5 and decode["wall"] == 0.025
+    assert decode["attrs"] == {"bytes": 128}
+    assert wait["trace"] == scope.trace_id
+    assert wait["parent_uid"] == uid
+    assert wait["ok"] is False
+    assert "trace" not in loose and "uid" not in loose
+    # retroactive spans feed the same wall histogram as live spans
+    names = {entry["labels"].get("span")
+             for entry in run.metrics if entry["name"] == "span.wall_ms"}
+    assert {"server.request", "server.decode", "server.queue_wait",
+            "loose"} <= names
+
+
+def test_trace_scopes_are_thread_local(tmp_path):
+    tele = Telemetry(str(tmp_path))
+    ids = {}
+
+    def worker(name):
+        with tele.trace() as scope:
+            with tele.span(name):
+                pass
+            ids[name] = scope.trace_id
+
+    threads = [threading.Thread(target=worker, args=(f"t{i}",))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    tele.close()
+    assert len(set(ids.values())) == 4
+    run = TelemetryRun.load(str(tmp_path))
+    for name, trace_id in ids.items():
+        assert run.spans_named(name)[0]["trace"] == trace_id
+
+
+def test_two_telemetries_in_one_process_never_share_uids(tmp_path):
+    """Same-pid client+server logs must not collide in the uid space."""
+    first = Telemetry(str(tmp_path / "a"))
+    second = Telemetry(str(tmp_path / "b"))
+    with first.trace():
+        with first.span("x"):
+            pass
+    with second.trace():
+        with second.span("y"):
+            pass
+    first.close()
+    second.close()
+    x = TelemetryRun.load(str(tmp_path / "a")).spans_named("x")[0]
+    y = TelemetryRun.load(str(tmp_path / "b")).spans_named("y")[0]
+    assert x["id"] == y["id"] == 1       # per-instance counters both at 1
+    assert x["uid"] != y["uid"]          # ...but the uids differ
+
+
+def test_null_telemetry_trace_surface_is_noop():
+    with NULL.trace("dead", "beef"):
+        assert NULL.trace_carrier() is None
+        assert NULL.emit_span("x", 0.0, 1.0) is None
+
+
+def test_module_level_conveniences_route_to_current(tmp_path):
+    assert telemetry.trace_carrier() is None     # NULL default
+    with telemetry.session(str(tmp_path)) as tele:
+        with telemetry.trace():
+            carrier = telemetry.trace_carrier()
+            assert carrier is not None
+            telemetry.emit_span("conv", tele.epoch, 0.001)
+    run = TelemetryRun.load(str(tmp_path))
+    assert run.spans_named("conv")[0]["trace"] == carrier["id"]
+
+
+def test_traced_log_is_valid_jsonl(tmp_path):
+    tele = Telemetry(str(tmp_path))
+    with tele.trace():
+        with tele.span("a"):
+            pass
+    tele.close()
+    with open(tele.sink.path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            json.loads(line)

@@ -1,0 +1,112 @@
+"""The CI /metrics checker: valid payloads pass, each invariant trips."""
+
+from tools.check_metrics import check_metrics_text, main
+
+VALID = """\
+# TYPE service_requests_total counter
+service_requests_total{op="put"} 5
+# TYPE queue_depth gauge
+queue_depth 2
+# TYPE lat_ms histogram
+lat_ms_bucket{le="1"} 2
+lat_ms_bucket{le="4"} 3
+lat_ms_bucket{le="+Inf"} 4
+lat_ms_sum 70.0
+lat_ms_count 4
+"""
+
+
+def test_valid_payload_has_no_problems():
+    assert check_metrics_text(VALID) == []
+
+
+def test_empty_payload_is_a_problem():
+    assert check_metrics_text("") == ["no samples found"]
+    assert check_metrics_text("# HELP nothing here\n") == ["no samples found"]
+
+
+def test_sample_without_type_declaration():
+    problems = check_metrics_text("mystery_metric 1\n")
+    assert any("no TYPE" in problem for problem in problems)
+
+
+def test_counter_without_total_suffix():
+    text = "# TYPE hits counter\nhits 3\n"
+    problems = check_metrics_text(text)
+    assert any("_total" in problem for problem in problems)
+
+
+def test_bad_metric_name_and_bad_value():
+    problems = check_metrics_text(
+        "# TYPE 9bad counter\n# TYPE ok_total counter\nok_total nope\n")
+    assert any("bad metric name" in problem for problem in problems)
+    assert any("bad sample value" in problem for problem in problems)
+
+
+def test_malformed_type_and_labels():
+    problems = check_metrics_text(
+        '# TYPE x wrongkind\n# TYPE y_total counter\ny_total{oops} 1\n')
+    assert any("malformed TYPE" in problem for problem in problems)
+    assert any("unparseable labels" in problem for problem in problems)
+
+
+def test_non_cumulative_buckets_are_flagged():
+    text = ("# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 5\n'
+            'lat_bucket{le="4"} 3\n'
+            'lat_bucket{le="+Inf"} 5\n'
+            "lat_sum 9\nlat_count 5\n")
+    problems = check_metrics_text(text)
+    assert any("not cumulative" in problem for problem in problems)
+
+
+def test_missing_inf_bucket_is_flagged():
+    text = ("# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 1\n'
+            "lat_sum 1\nlat_count 1\n")
+    problems = check_metrics_text(text)
+    assert any('+Inf' in problem for problem in problems)
+
+
+def test_inf_bucket_must_equal_count():
+    text = ("# TYPE lat histogram\n"
+            'lat_bucket{le="+Inf"} 3\n'
+            "lat_sum 9\nlat_count 5\n")
+    problems = check_metrics_text(text)
+    assert any("!= _count" in problem for problem in problems)
+
+
+def test_histogram_series_checked_per_label_set():
+    text = ("# TYPE lat histogram\n"
+            'lat_bucket{tenant="a",le="1"} 1\n'
+            'lat_bucket{tenant="a",le="+Inf"} 1\n'
+            'lat_count{tenant="a"} 1\n'
+            'lat_bucket{tenant="b",le="1"} 9\n'
+            'lat_bucket{tenant="b",le="+Inf"} 9\n'
+            'lat_count{tenant="b"} 9\n'
+            'lat_sum{tenant="a"} 1\nlat_sum{tenant="b"} 9\n')
+    assert check_metrics_text(text) == []
+
+
+def test_main_reads_file_and_reports(tmp_path, capsys):
+    good = tmp_path / "good.txt"
+    good.write_text(VALID, encoding="utf-8")
+    assert main([str(good)]) == 0
+    assert "ok (" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.txt"
+    bad.write_text("mystery 1\n", encoding="utf-8")
+    assert main([str(bad)]) == 1
+    assert "no TYPE" in capsys.readouterr().err
+
+
+def test_main_reads_stdin(monkeypatch, capsys):
+    import io
+    monkeypatch.setattr("sys.stdin", io.StringIO(VALID))
+    assert main(["-"]) == 0
+    capsys.readouterr()
+
+
+def test_main_usage_error():
+    assert main([]) == 2
+    assert main(["a", "b"]) == 2

@@ -13,6 +13,12 @@ whose payload carries a ``gate`` section::
         "latency_ms":     {name: value},   # e.g. the slap swarm's p99 upload
                                            # latency — gated like a ratio but
                                            # INVERTED (growth is the regression)
+        "slo":            {name: burn},    # server-reported SLO burn rates
+                                           # (repro slap --json) — inverted
+                                           # like latency, plus a hard fail
+                                           # when any fresh burn reaches 1.0
+                                           # (the budget is spent regardless
+                                           # of what the baseline burned)
         "profile_sha256": {name: digest},  # profile-dump hashes — must match
     }
 
@@ -191,6 +197,27 @@ def compare_envelopes(
                 f"{name}: latency_ms.{key} grew "
                 f"{(new / old - 1) * 100:.1f}% "
                 f"({old} -> {new} ms, tolerance {tolerance * 100:.0f}%)")
+
+    # SLO burns gate in two layers: relative growth like latency, plus a
+    # hard rule — burn >= 1.0 means the budget is spent, full stop
+    for key, new in (new_gate.get("slo") or {}).items():
+        if isinstance(new, (int, float)) and new >= 1.0:
+            problems.append(
+                f"{name}: slo.{key} is {new:.2f} — the SLO budget is "
+                f"burned (>= 1.0 always fails)")
+    for key, old in (base_gate.get("slo") or {}).items():
+        new = (new_gate.get("slo") or {}).get(key)
+        if new is None:
+            problems.append(f"{name}: metric slo.{key} missing "
+                            f"from the fresh envelope")
+            continue
+        if not isinstance(old, (int, float)) or old <= 0:
+            continue
+        if new > old * (1.0 + tolerance):
+            problems.append(
+                f"{name}: slo.{key} burn grew "
+                f"{(new / old - 1) * 100:.1f}% "
+                f"({old} -> {new}, tolerance {tolerance * 100:.0f}%)")
     return problems
 
 

@@ -1,0 +1,186 @@
+"""Validate a Prometheus text exposition payload (CI /metrics smoke).
+
+Usage::
+
+    python -m tools.check_metrics metrics.txt
+    curl -s http://HOST:PORT/metrics | python -m tools.check_metrics -
+
+Checks the invariants a scraper relies on, which is exactly what
+``repro.telemetry.prometheus.render_prometheus`` promises to produce:
+
+* every sample line parses as ``name{labels} value`` with a metric name
+  in the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar and a float value;
+* every sample is preceded by a ``# TYPE`` declaration for its family
+  (``_bucket``/``_sum``/``_count`` samples belong to their histogram);
+* counter families end in ``_total``;
+* histogram ``_bucket`` series are cumulative (monotone in ``le``),
+  end in an ``le="+Inf"`` bucket, and that bucket equals ``_count``.
+
+Exit 0 when the payload is valid and non-trivial, 1 with a complaint
+per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["check_metrics_text", "main"]
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$")
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>.*)"$')
+
+
+def _parse_value(text: str) -> Optional[float]:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _parse_labels(text: Optional[str]) -> Optional[Dict[str, str]]:
+    if not text:
+        return {}
+    labels: Dict[str, str] = {}
+    for item in text.split(","):
+        match = _LABEL.match(item.strip())
+        if match is None:
+            return None
+        labels[match.group("key")] = match.group("value")
+    return labels
+
+
+def _family_of(name: str, types: Dict[str, str]) -> Optional[str]:
+    """The declared family a sample belongs to, histogram suffixes included."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def check_metrics_text(text: str) -> List[str]:
+    """Every violation in one exposition payload (empty = valid)."""
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float, int]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram", "summary",
+                                                   "untyped"):
+                problems.append(f"line {lineno}: malformed TYPE line: {line}")
+                continue
+            if not _NAME.match(parts[2]):
+                problems.append(f"line {lineno}: bad metric name {parts[2]!r}")
+                continue
+            if parts[2] in types:
+                problems.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue                    # HELP / comments: fine, unchecked
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line}")
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        if labels is None:
+            problems.append(f"line {lineno}: unparseable labels: {line}")
+            continue
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(f"line {lineno}: bad sample value: {line}")
+            continue
+        family = _family_of(name, types)
+        if family is None:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE "
+                            f"declaration")
+            continue
+        if types[family] == "counter" and not name.endswith("_total"):
+            problems.append(f"line {lineno}: counter sample {name!r} lacks "
+                            f"the _total suffix")
+        samples.append((name, labels, value, lineno))
+
+    # histogram invariants: per (family, non-le labels) series
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets: Dict[Tuple, List[Tuple[float, float, int]]] = {}
+        counts: Dict[Tuple, float] = {}
+        for name, labels, value, lineno in samples:
+            base = tuple(sorted((key, val) for key, val in labels.items()
+                                if key != "le"))
+            if name == f"{family}_bucket":
+                if "le" not in labels:
+                    problems.append(f"line {lineno}: bucket without le label")
+                    continue
+                bound = _parse_value(labels["le"])
+                if bound is None:
+                    problems.append(f"line {lineno}: bad le value "
+                                    f"{labels['le']!r}")
+                    continue
+                buckets.setdefault(base, []).append((bound, value, lineno))
+            elif name == f"{family}_count":
+                counts[base] = value
+        for base, series in buckets.items():
+            series.sort(key=lambda item: item[0])
+            previous = None
+            for bound, value, lineno in series:
+                if previous is not None and value < previous:
+                    problems.append(
+                        f"line {lineno}: {family}_bucket not cumulative at "
+                        f"le={bound}")
+                previous = value
+            if not series or series[-1][0] != float("inf"):
+                problems.append(f"{family}: missing le=\"+Inf\" bucket")
+            elif base in counts and series[-1][1] != counts[base]:
+                problems.append(
+                    f"{family}: +Inf bucket {series[-1][1]} != _count "
+                    f"{counts[base]}")
+    if not samples and not problems:
+        problems.append("no samples found")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        sys.stderr.write("usage: python -m tools.check_metrics FILE|-\n")
+        return 2
+    if argv[0] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[0], "r", encoding="utf-8") as stream:
+            text = stream.read()
+    problems = check_metrics_text(text)
+    for problem in problems:
+        sys.stderr.write(f"check_metrics: {problem}\n")
+    if problems:
+        return 1
+    families = len(re.findall(r"^# TYPE ", text, flags=re.MULTILINE))
+    samples = sum(1 for line in text.splitlines()
+                  if line.strip() and not line.startswith("#"))
+    sys.stdout.write(f"check_metrics: ok ({families} familie(s), "
+                     f"{samples} sample(s))\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

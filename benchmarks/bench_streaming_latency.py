@@ -1,0 +1,149 @@
+"""Streaming pipeline latency: checkpoint freshness under live load.
+
+The live pipeline's promise is twofold: the final profile is *free*
+(byte-identical to batch), and partial profiles are *fresh*.  This
+bench measures both on real workload traces replayed through the live
+writer while a :class:`~repro.streaming.LiveProfileSession` co-tails:
+
+* checkpoint lag (ms between the oldest unsnapshotted chunk being fed
+  and the checkpoint that covers it), p50/p99 over the run — the gate
+  holds the p99 as an *inverted* latency gate (growth is regression);
+* streamed analysis throughput (events/s through tail→decode→feed);
+* the streamed final dump's SHA-256, which must equal the batch flat
+  kernel's (re-checked by the gate like the kernel-throughput digests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import tempfile
+import time
+
+from repro.core import replay
+from repro.core.flatkernel import analyze_events_flat
+from repro.core.profile_data import ProfileDatabase
+from repro.farm import BinaryTraceWriter, live_names_path, read_binary_trace, save_profile
+from repro.reporting import table
+from repro.streaming import LiveProfileSession, checkpoint_dump_bytes
+from repro.workloads import benchmark as get_benchmark
+
+from conftest import bench_scale, run_once, save_result
+
+WORKLOADS = ("376.kdtree", "350.md")
+THREADS = 2
+CHUNK_EVENTS = 256
+CHECKPOINT_EVENTS = 512
+#: events replayed between session polls — a steady producer
+BURST_EVENTS = 512
+
+
+def record_events(name: str, scale: float):
+    buffer = io.BytesIO()
+    writer = BinaryTraceWriter(buffer, chunk_events=4096)
+    get_benchmark(name).run(tools=writer, threads=THREADS, scale=scale)
+    writer.close()
+    buffer.seek(0)
+    return read_binary_trace(buffer)
+
+
+def batch_digest(events) -> str:
+    db = ProfileDatabase()
+    analyze_events_flat(events, db)
+    stream = io.StringIO()
+    save_profile(db, stream)
+    return hashlib.sha256(stream.getvalue().encode("utf-8")).hexdigest()
+
+
+def percentile(samples, fraction):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def stream_workload(events, tmp_dir: str):
+    """Replay ``events`` live, co-tailing; returns (session, seconds)."""
+    trace = os.path.join(tmp_dir, "live.rpt2")
+    session = LiveProfileSession(
+        trace, os.path.join(tmp_dir, "ckpt"),
+        checkpoint_events=CHECKPOINT_EVENTS, checkpoint_seconds=1e9)
+    start = time.perf_counter()
+    with open(trace, "wb") as stream, \
+            open(live_names_path(trace), "w", encoding="utf-8") as names:
+        writer = BinaryTraceWriter(stream, chunk_events=CHUNK_EVENTS,
+                                   names_stream=names)
+        for offset in range(0, len(events), BURST_EVENTS):
+            replay(events[offset:offset + BURST_EVENTS], writer)
+            session.step()
+        writer.close()
+    session.finalize()
+    return session, time.perf_counter() - start
+
+
+def run_study(scale: float):
+    study = {}
+    for name in WORKLOADS:
+        events = record_events(name, scale)
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            session, seconds = stream_workload(events, tmp_dir)
+            streamed = checkpoint_dump_bytes(os.path.join(tmp_dir, "ckpt"))
+        study[name] = {
+            "events": len(events),
+            "seconds": seconds,
+            "checkpoints": len(session.checkpoints),
+            "lag_p50_ms": percentile(session.lag_samples_ms, 0.50),
+            "lag_p99_ms": percentile(session.lag_samples_ms, 0.99),
+            "streamed_sha": hashlib.sha256(streamed).hexdigest(),
+            "batch_sha": batch_digest(events),
+        }
+    return study
+
+
+def test_streaming_latency(benchmark, scale):
+    study = run_once(benchmark, lambda: run_study(scale))
+
+    rows = []
+    latency = {}
+    throughput = {}
+    hashes = {}
+    for name, data in study.items():
+        events_per_s = data["events"] / data["seconds"]
+        throughput[f"stream_events_per_s:{name}"] = round(events_per_s)
+        latency[f"checkpoint_p99:{name}"] = round(data["lag_p99_ms"], 2)
+        hashes[name] = data["streamed_sha"]
+        rows.append([
+            name, data["events"], data["checkpoints"],
+            f"{data['lag_p50_ms']:.1f}ms", f"{data['lag_p99_ms']:.1f}ms",
+            f"{events_per_s:,.0f}",
+        ])
+    print()
+    print(table(
+        ["workload", "events", "checkpoints", "lag p50", "lag p99", "events/s"],
+        rows,
+        title="Streaming pipeline — checkpoint freshness and throughput",
+    ))
+
+    # exactness is unconditional: streaming must equal batch, byte for byte
+    for name, data in study.items():
+        assert data["streamed_sha"] == data["batch_sha"], \
+            f"{name}: streamed final profile differs from batch"
+
+    # the shape assertion: checkpoints are cut (freshness exists at all)
+    # and lag stays bounded by seconds, not by the run length
+    for name, data in study.items():
+        assert data["checkpoints"] >= 2, f"{name}: no mid-run checkpoints"
+        assert data["lag_p99_ms"] < data["seconds"] * 1000, \
+            f"{name}: checkpoint lag as large as the whole run"
+
+    save_result("streaming_latency", {
+        "workloads": study,
+        "gate": {
+            "scale": bench_scale(),
+            "latency_ms": latency,
+            "throughput": throughput,
+            "profile_sha256": hashes,
+        },
+    })

@@ -121,7 +121,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="v2: chunked binary (farm-ready); v1: text")
     record.add_argument("--chunk-events", type=int, default=4096, metavar="N",
                         help="events per v2 chunk (shard planning granularity)")
+    record.add_argument("--live", metavar="DIR",
+                        help="stream the trace while recording (v2 only): "
+                             "flush every sealed chunk + names sidecar and "
+                             "tail it into profile checkpoints under DIR "
+                             "(watch them with `repro watch DIR`)")
+    record.add_argument("--durable", action="store_true",
+                        help="fsync every sealed chunk (power-loss durable "
+                             "streaming at a throughput cost)")
+    record.add_argument("--checkpoint-events", type=int, default=65536,
+                        metavar="N", help="events between --live checkpoints")
     _add_telemetry_option(record)
+
+    watch = commands.add_parser(
+        "watch", help="live ASCII dashboard over streaming profile checkpoints"
+    )
+    watch.add_argument("target",
+                       help="checkpoint directory (containing CURRENT.json), "
+                            "or a growing v2 trace when --checkpoints is given")
+    watch.add_argument("--checkpoints", metavar="DIR",
+                       help="tail TARGET (a v2 trace) and emit checkpoints "
+                            "into DIR while watching")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    watch.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                       help="refresh period (default 1s)")
+    watch.add_argument("--top", type=int, default=10, metavar="N",
+                       help="routines shown (ranked by growth class, then cost)")
+    watch.add_argument("--checkpoint-events", type=int, default=65536,
+                       metavar="N",
+                       help="events between checkpoints in --checkpoints mode")
+    watch.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="give up waiting for new data after this long")
+    _add_telemetry_option(watch)
 
     analyze = commands.add_parser(
         "analyze", help="run the profilers over a recorded trace"
@@ -392,17 +424,50 @@ def _cmd_record(args, out) -> int:
     except KeyError as error:
         out.write(f"error: {error.args[0]}\n")
         return 2
+    live_dir = getattr(args, "live", None)
+    if live_dir and args.format != "v2":
+        out.write("error: --live requires the v2 trace format\n")
+        return 2
     with telemetry.span("record", benchmark=bench.name,
                         format=args.format) as record_span:
         if args.format == "v2":
-            from .farm import BinaryTraceWriter
+            import contextlib
 
-            with open(args.output, "wb") as stream:
-                writer = BinaryTraceWriter(stream, chunk_events=args.chunk_events)
+            from .farm import BinaryTraceWriter, live_names_path
+
+            with contextlib.ExitStack() as stack:
+                stream = stack.enter_context(open(args.output, "wb"))
+                names_stream = None
+                session = None
+                watcher = None
+                if live_dir:
+                    import threading
+
+                    from .streaming import LiveProfileSession
+
+                    names_stream = stack.enter_context(
+                        open(live_names_path(args.output), "w"))
+                    session = LiveProfileSession(
+                        args.output, live_dir,
+                        checkpoint_events=args.checkpoint_events,
+                        checkpoint_seconds=0.5)
+                    watcher = threading.Thread(
+                        target=session.run, name="repro-live", daemon=True)
+                writer = BinaryTraceWriter(
+                    stream, chunk_events=args.chunk_events,
+                    durable=getattr(args, "durable", False),
+                    names_stream=names_stream)
+                if watcher is not None:
+                    watcher.start()
                 machine = bench.run(tools=writer, threads=args.threads,
                                     scale=args.scale)
                 writer.close()
+                if watcher is not None:
+                    watcher.join(timeout=60.0)
             chunks = f", {len(writer.chunks)} chunks"
+            if session is not None:
+                chunks += (f"; {len(session.checkpoints)} live checkpoint(s) "
+                           f"in {live_dir}")
         else:
             from .core.tracefile import TraceWriter
 
@@ -416,6 +481,86 @@ def _cmd_record(args, out) -> int:
     out.write(f"recorded {writer.events_written} events "
               f"({machine.stats.total_blocks} basic blocks{chunks}) to {args.output}\n")
     return 0
+
+
+def _cmd_watch(args, out) -> int:
+    import time as _time
+
+    from .farm import TruncatedChunk
+    from .streaming import (
+        MANIFEST_NAME,
+        LiveProfileSession,
+        load_checkpoint,
+        render_watch,
+    )
+
+    session = None
+    if args.checkpoints:
+        session = LiveProfileSession(
+            args.target, args.checkpoints,
+            checkpoint_events=args.checkpoint_events,
+            checkpoint_seconds=max(args.interval, 0.1))
+        directory = args.checkpoints
+    else:
+        directory = args.target
+
+    def frame() -> Optional[str]:
+        try:
+            manifest, db = load_checkpoint(directory)
+        except FileNotFoundError:
+            return None
+        return render_watch(manifest, db, top=args.top)
+
+    deadline = (None if args.timeout is None
+                else _time.monotonic() + args.timeout)
+
+    if args.once:
+        if session is not None:
+            # Drain whatever is on disk right now, then cut one
+            # checkpoint of it — mid-flight or final alike.
+            while session.step():
+                pass
+            if session.drained:
+                try:
+                    session.finalize()
+                except TruncatedChunk as error:
+                    out.write(f"warning: {error}\n")
+            else:
+                session.checkpoint()
+        text = frame()
+        if text is None:
+            out.write(f"error: no {MANIFEST_NAME} under {directory}\n")
+            return 1
+        out.write(text)
+        return 0
+
+    last = ""
+    while True:
+        if session is not None:
+            consumed = session.step()
+            if session.drained:
+                try:
+                    session.finalize()
+                except TruncatedChunk as error:
+                    out.write(f"warning: {error}\n")
+        else:
+            consumed = 0
+        text = frame()
+        if text is not None and text != last:
+            out.write(text)
+            last = text
+        done = (session.finalized if session is not None
+                else bool(text) and "· closed" in text.splitlines()[0])
+        if done:
+            return 0
+        if deadline is not None and _time.monotonic() > deadline:
+            if text is None:
+                out.write(f"error: no {MANIFEST_NAME} under {directory} "
+                          f"after {args.timeout:.1f}s\n")
+                return 1
+            return 0
+        if not consumed:
+            _time.sleep(args.interval if session is None else 0.05)
 
 
 def _cmd_analyze(args, out) -> int:
@@ -846,6 +991,8 @@ def _dispatch(args, out) -> int:
         return _cmd_fit(args, out)
     if args.command == "record":
         return _cmd_record(args, out)
+    if args.command == "watch":
+        return _cmd_watch(args, out)
     if args.command == "analyze":
         return _cmd_analyze(args, out)
     if args.command == "merge":

@@ -45,6 +45,13 @@ from .stack import FlatStack
 
 __all__ = ["FlatAnalyzer", "analyze_columns_flat", "analyze_events_flat"]
 
+#: Analyzer-allocated name ids (per-thread roots, composed contexts)
+#: live in a namespace far above any real trace string table, so the
+#: external ``names`` table may *grow while analysis is running* (the
+#: streaming tailer appends sidecar names between chunks) without ever
+#: colliding with internal ids.
+_EXTRA_BASE = 1 << 40
+
 _CALL = int(EventKind.CALL)
 _RETURN = int(EventKind.RETURN)
 _READ = int(EventKind.READ)
@@ -98,9 +105,14 @@ class FlatAnalyzer:
     ):
         self.db = db
         self.context_sensitive = context_sensitive
-        #: routine id -> name; starts as the trace string table and grows
-        #: with per-thread roots and composed contexts
-        self.names: List[str] = list(names)
+        #: routine id -> name: the trace string table, held by
+        #: *reference* when given a list so the owner may append names
+        #: mid-run (streaming).  Ids the analyzer allocates itself
+        #: (per-thread roots, composed contexts) live in ``_extra`` at
+        #: ``_EXTRA_BASE + index`` so they never collide with table
+        #: growth.
+        self.names: List[str] = names if isinstance(names, list) else list(names)
+        self._extra: List[str] = []
         self._ctx_ids: Dict[Tuple[int, int], int] = {}
         self.states: Dict[int, _FlatThreadState] = {}
         #: thread order for :meth:`finish` unwinding (assignment order,
@@ -115,12 +127,18 @@ class FlatAnalyzer:
 
     def _ensure(self, thread: int) -> _FlatThreadState:
         state = _FlatThreadState(thread)
-        root_id = len(self.names)
-        self.names.append(_ROOT_NAME.format(thread=thread))
+        root_id = _EXTRA_BASE + len(self._extra)
+        self._extra.append(_ROOT_NAME.format(thread=thread))
         state.stack.push(root_id, 0, 0)
         self.states[thread] = state
         self._order.append(thread)
         return state
+
+    def _name_of(self, ident: int) -> str:
+        """Resolve a routine id from either namespace."""
+        if ident >= _EXTRA_BASE:
+            return self._extra[ident - _EXTRA_BASE]
+        return self.names[ident]
 
     def feed(self, columns) -> None:
         """Analyse one :class:`~repro.farm.binfmt.ChunkColumns` batch."""
@@ -129,6 +147,8 @@ class FlatAnalyzer:
         # (events arrive in per-thread runs, so this almost never fires).
         db = self.db
         names = self.names
+        extra = self._extra
+        extra_base = _EXTRA_BASE
         ctx_ids = self._ctx_ids
         context_sensitive = self.context_sensitive
         states = self.states
@@ -197,8 +217,10 @@ class FlatAnalyzer:
                     parent = s_rtn[-1]
                     rtn_id = ctx_ids.get((parent, arg))
                     if rtn_id is None:
-                        rtn_id = len(names)
-                        names.append(compose_context(names[parent], names[arg]))
+                        rtn_id = extra_base + len(extra)
+                        parent_name = (extra[parent - extra_base]
+                                       if parent >= extra_base else names[parent])
+                        extra.append(compose_context(parent_name, names[arg]))
                         ctx_ids[(parent, arg)] = rtn_id
                 else:
                     rtn_id = arg
@@ -220,7 +242,9 @@ class FlatAnalyzer:
                     s_ind_thread[-1] += ind_thread
                     s_ind_external[-1] += ind_external
                     add_activation(
-                        names[rtn_id], thread, partial, state.cost - entry_cost,
+                        extra[rtn_id - extra_base] if rtn_id >= extra_base
+                        else names[rtn_id],
+                        thread, partial, state.cost - entry_cost,
                         ind_thread, ind_external,
                     )
             elif kind == _COST:
@@ -236,7 +260,7 @@ class FlatAnalyzer:
 
     def finish(self) -> None:
         """Unwind every pending activation, including implicit roots."""
-        names = self.names
+        name_of = self._name_of
         add_activation = self.db.add_activation
         for thread in self._order:
             state = self.states[thread]
@@ -248,7 +272,7 @@ class FlatAnalyzer:
                     stack.induced_thread[-1] += ind_thread
                     stack.induced_external[-1] += ind_external
                 add_activation(
-                    names[rtn_id], thread, partial, state.cost - entry_cost,
+                    name_of(rtn_id), thread, partial, state.cost - entry_cost,
                     ind_thread, ind_external,
                 )
 

@@ -25,14 +25,17 @@ workload; parallel speed is never allowed to change a profile.
 
 from .binfmt import (
     BINARY_MAGIC,
+    NAMES_SUFFIX,
     BinaryTraceError,
     BinaryTraceWriter,
     ChunkMeta,
     TraceMeta,
+    TruncatedChunk,
     convert_v1_to_v2,
     convert_v2_to_v1,
     is_binary_trace,
     iter_binary_trace,
+    live_names_path,
     read_binary_trace,
     read_trace_meta,
     write_binary_trace,
@@ -53,10 +56,13 @@ from .worker import ShardTask, WorkerResult, run_shard
 
 __all__ = [
     "BINARY_MAGIC",
+    "NAMES_SUFFIX",
     "BinaryTraceError",
     "BinaryTraceWriter",
     "ChunkMeta",
     "TraceMeta",
+    "TruncatedChunk",
+    "live_names_path",
     "convert_v1_to_v2",
     "convert_v2_to_v1",
     "is_binary_trace",

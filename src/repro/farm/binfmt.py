@@ -36,17 +36,21 @@ vocabulary both formats share (which is all of it).
 
 from __future__ import annotations
 
+import os
 import struct
 import sys
 from array import array
 from typing import IO, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..core.events import Event, EventKind, TraceConsumer, replay
-from ..core.tracefile import TraceFileError, TraceWriter, iter_trace
+from ..core.tracefile import TraceFileError, TraceWriter, escape_name, iter_trace
 
 __all__ = [
     "BINARY_MAGIC",
+    "NAMES_SUFFIX",
     "BinaryTraceError",
+    "TruncatedChunk",
+    "live_names_path",
     "ChunkMeta",
     "TraceMeta",
     "BinaryTraceWriter",
@@ -76,9 +80,32 @@ _TRAILER = struct.Struct("<QQ8s")       # footer offset, event count, trailer ma
 
 DEFAULT_CHUNK_EVENTS = 4096
 
+#: suffix of the live names sidecar a streaming writer maintains next to
+#: the trace (``trace.rpt2`` -> ``trace.rpt2.names``): interned routine
+#: names, escaped one per line, flushed with every sealed chunk so a
+#: tailer can resolve ``CALL`` ids before the footer exists.
+NAMES_SUFFIX = ".names"
+
 
 class BinaryTraceError(TraceFileError):
     """Raised on malformed binary trace files."""
+
+
+class TruncatedChunk(BinaryTraceError):
+    """A *recoverable* truncation: the trace ends mid-write.
+
+    Raised when a v2 file has valid leading chunks but no (or a torn)
+    seal — the writer is still running, or was killed between
+    ``_flush_chunk`` and ``close``.  Every chunk sealed before the tear
+    is intact; callers that can live with a prefix (the streaming
+    tailer, crash recovery) catch this and keep what they have, unlike
+    :class:`BinaryTraceError` which signals an unusable file.
+    """
+
+
+def live_names_path(trace_path: str) -> str:
+    """Path of the live names sidecar for ``trace_path``."""
+    return trace_path + NAMES_SUFFIX
 
 
 class ChunkMeta(NamedTuple):
@@ -133,20 +160,39 @@ class BinaryTraceWriter(TraceConsumer):
     to ``on_finish``, so several executions can be recorded into one
     trace (the substrates fire ``on_finish`` after each run).  The
     underlying stream is left open.
+
+    Every sealed chunk is flushed to the OS at ``_flush_chunk`` time so
+    a concurrent tailer (:mod:`repro.streaming`) sees it immediately —
+    data buffered in the writer process is invisible to other processes
+    and would starve any live consumer.  ``durable=True`` additionally
+    ``fsync``\\ s after each chunk (and the seal), trading throughput
+    for power-loss durability.  ``names_stream`` attaches a live names
+    sidecar: newly interned routine names are appended (escaped, one
+    per line) and flushed *with* the chunk that first references them,
+    so a tailer can decode ``CALL`` ids before the footer exists.
     """
 
     name = "binary-trace-writer"
 
-    def __init__(self, stream: IO[bytes], chunk_events: int = DEFAULT_CHUNK_EVENTS):
+    def __init__(
+        self,
+        stream: IO[bytes],
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        durable: bool = False,
+        names_stream: Optional[IO[str]] = None,
+    ):
         if chunk_events <= 0:
             raise ValueError("chunk_events must be positive")
         self.stream = stream
         self.chunk_events = chunk_events
+        self.durable = durable
+        self.names_stream = names_stream
         self.events_written = 0
         self.chunks: List[ChunkMeta] = []
         self.closed = False
         self._name_ids: Dict[str, int] = {}
         self._names: List[str] = []
+        self._names_flushed = 0
         self._buf = bytearray()
         self._buf_events = 0
         self._buf_writes = 0
@@ -200,6 +246,29 @@ class BinaryTraceWriter(TraceConsumer):
         self._buf_events = 0
         self._buf_writes = 0
         self._buf_threads = {}
+        # Sidecar first: by the time the chunk's bytes hit the OS, every
+        # name its CALL records reference must already be readable.
+        self._flush_names()
+        self._sync(self.stream)
+
+    def _flush_names(self) -> None:
+        """Append newly interned names to the live sidecar and flush."""
+        if self.names_stream is None or self._names_flushed >= len(self._names):
+            return
+        for name in self._names[self._names_flushed:]:
+            self.names_stream.write(escape_name(name) + "\n")
+        self._names_flushed = len(self._names)
+        self._sync(self.names_stream)
+
+    def _sync(self, stream: IO) -> None:
+        """Flush ``stream`` to the OS; fsync too when ``durable``."""
+        stream.flush()
+        if self.durable:
+            try:
+                fd = stream.fileno()
+            except (AttributeError, OSError, ValueError):
+                return  # in-memory stream: nothing to sync
+            os.fsync(fd)
 
     def close(self) -> None:
         """Flush the open chunk and seal the file (idempotent)."""
@@ -223,6 +292,8 @@ class BinaryTraceWriter(TraceConsumer):
             for thread, count in sorted(chunk.thread_counts.items()):
                 out.write(_THREAD_COUNT.pack(thread, count))
         out.write(_TRAILER.pack(footer_offset, self.events_written, _TRAILER_MAGIC))
+        self._flush_names()
+        self._sync(out)
         self.closed = True
 
     # -- TraceConsumer callbacks -------------------------------------------------
@@ -276,16 +347,30 @@ def _parse_chunk_fixed(data: bytes, stream: IO[bytes]) -> Tuple[int, int, int, i
 
 
 def read_trace_meta(stream: IO[bytes]) -> TraceMeta:
-    """Load footer metadata from a seekable v2 stream (no chunk decode)."""
+    """Load footer metadata from a seekable v2 stream (no chunk decode).
+
+    A stream with the right magic but a missing or torn seal raises
+    :class:`TruncatedChunk` (recoverable: the writer may still be
+    running, or died mid-flush — the sealed prefix is intact and a
+    tailer can consume it).  Anything else malformed raises plain
+    :class:`BinaryTraceError`.
+    """
     stream.seek(0)
     if _read_exact(stream, len(BINARY_MAGIC), "magic") != BINARY_MAGIC:
         raise BinaryTraceError("not a binary trace (bad magic)")
+    size = stream.seek(0, 2)
+    if size < len(BINARY_MAGIC) + _TRAILER.size:
+        raise TruncatedChunk(
+            "binary trace is unsealed (no room for a trailer yet): "
+            "the writer has not sealed the file")
     stream.seek(-_TRAILER.size, 2)
     trailer_offset = stream.tell()
     footer_offset, event_count, magic = _TRAILER.unpack(
         _read_exact(stream, _TRAILER.size, "trailer"))
     if magic != _TRAILER_MAGIC:
-        raise BinaryTraceError("binary trace is unsealed or truncated (bad trailer)")
+        raise TruncatedChunk(
+            "binary trace is unsealed or truncated (bad trailer): "
+            "writer still running, or killed mid-flush")
     if not len(BINARY_MAGIC) <= footer_offset <= trailer_offset:
         raise BinaryTraceError("corrupt trailer: footer offset out of range")
     stream.seek(footer_offset)

@@ -33,7 +33,10 @@ from .ingest import (
     IngestResult,
     artefact_suffix,
     ingest_bytes,
+    ingest_checkpoint,
     ingest_path,
+    ingest_stream_dump,
+    record_from_checkpoint,
     record_from_envelope,
     record_from_farm_stats,
     record_from_profile_db,
@@ -62,7 +65,10 @@ __all__ = [
     "IngestResult",
     "artefact_suffix",
     "ingest_bytes",
+    "ingest_checkpoint",
     "ingest_path",
+    "ingest_stream_dump",
+    "record_from_checkpoint",
     "record_from_envelope",
     "record_from_farm_stats",
     "record_from_profile_db",

@@ -51,8 +51,11 @@ __all__ = [
     "record_from_farm_stats",
     "record_from_telemetry",
     "record_from_envelope",
+    "record_from_checkpoint",
     "artefact_suffix",
     "ingest_bytes",
+    "ingest_checkpoint",
+    "ingest_stream_dump",
     "ingest_path",
 ]
 
@@ -242,6 +245,108 @@ def record_from_envelope(envelope: Dict) -> RunRecord:
     )
 
 
+def record_from_checkpoint(
+    manifest: Dict,
+    db: ProfileDatabase,
+    run_id: Optional[str] = None,
+    git_sha: str = "",
+    scale: float = 0.0,
+    top_k: int = DEFAULT_TOP_K,
+) -> RunRecord:
+    """A streaming checkpoint as a *partial* run record.
+
+    The run id is stable across checkpoints of one stream
+    (``stream-<stream_id>`` by default), so successive ingests
+    supersede each other instead of piling up as distinct runs — the
+    store keeps exactly one, newest, version of the in-flight run and
+    drift detection sees it mid-flight.  The streaming health numbers
+    travel as run metrics (``streaming.*``).
+    """
+    stream_id = str(manifest.get("stream_id") or manifest.get("id") or "")
+    if not stream_id:
+        raise ValueError("checkpoint manifest carries no stream id")
+    record = record_from_profile_db(
+        db,
+        run_id=run_id or f"stream-{stream_id}",
+        git_sha=git_sha,
+        timestamp=str(manifest.get("timestamp") or ""),
+        scale=scale,
+        source="stream",
+        top_k=top_k,
+    )
+    metrics = dict(record.metrics)
+    metrics.update({
+        "streaming.seq": float(manifest.get("seq") or 0),
+        "streaming.events_analyzed": float(manifest.get("events_analyzed") or 0),
+        "streaming.events_behind": float(manifest.get("events_behind") or 0),
+        "streaming.checkpoint_lag_ms": float(manifest.get("lag_ms") or 0.0),
+        "streaming.events_per_s": float(manifest.get("events_per_s") or 0.0),
+        "streaming.closed": 1.0 if manifest.get("closed") else 0.0,
+    })
+    return record._replace(metrics=metrics)
+
+
+def _ingest_checkpoint_record(
+    store: ObservatoryStore, record: RunRecord, manifest: Dict,
+) -> IngestResult:
+    ingested = store.add_run(record, supersede=True)
+    state = "final" if manifest.get("closed") else "partial"
+    detail = (f"checkpoint #{manifest.get('seq', 0)} ({state}), "
+              f"{len(record.curves)} curve(s)"
+              if ingested else
+              f"checkpoint #{manifest.get('seq', 0)} already known")
+    return IngestResult(record.run_id, "stream", ingested, detail)
+
+
+def ingest_checkpoint(
+    store: ObservatoryStore,
+    directory: str,
+    run_id: Optional[str] = None,
+    git_sha: str = "",
+    scale: float = 0.0,
+    top_k: int = DEFAULT_TOP_K,
+) -> IngestResult:
+    """Ingest the newest checkpoint of a stream directory, superseding.
+
+    ``directory`` holds a ``CURRENT.json`` manifest plus the snapshot
+    chain (:mod:`repro.streaming.snapshot`).  Safe to call repeatedly
+    while the stream is live: each call replaces the previous partial
+    run in place; an unchanged checkpoint is an idempotent no-op.
+    """
+    from ..streaming.snapshot import load_checkpoint
+
+    manifest, db = load_checkpoint(directory)
+    record = record_from_checkpoint(manifest, db, run_id=run_id,
+                                    git_sha=git_sha, scale=scale, top_k=top_k)
+    return _ingest_checkpoint_record(store, record, manifest)
+
+
+def ingest_stream_dump(
+    store: ObservatoryStore,
+    data: bytes,
+    stream_meta: Dict,
+    run_id: Optional[str] = None,
+    git_sha: str = "",
+    scale: float = 0.0,
+    top_k: int = DEFAULT_TOP_K,
+) -> IngestResult:
+    """Ingest a reassembled checkpoint dump shipped over the wire.
+
+    The service's ``put_stream`` op delivers the full ``repro-profile
+    1`` bytes plus the manifest fields as ``stream_meta`` — same
+    superseding semantics as :func:`ingest_checkpoint`, without
+    touching the uploader's filesystem.
+    """
+    import io
+
+    from ..farm import load_profile
+
+    db = load_profile(io.StringIO(data.decode("utf-8")))
+    record = record_from_checkpoint(stream_meta, db, run_id=run_id,
+                                    git_sha=git_sha, scale=scale, top_k=top_k)
+    return _ingest_checkpoint_record(store, record, stream_meta)
+
+
 # -- file sniffing -----------------------------------------------------------
 
 
@@ -280,10 +385,24 @@ def ingest_path(
     Accepts a ``repro-profile 1`` dump, a ``repro profile --dump`` TSV
     point file, a v2 binary trace (analysed inline through the farm
     engine first), a ``telemetry.jsonl`` file (or a run directory
-    holding one), or a ``repro-bench/1`` JSON envelope.  Raises
+    holding one), a ``repro-bench/1`` JSON envelope, or a streaming
+    checkpoint directory (holding ``CURRENT.json``; ingested with
+    superseding semantics — see :func:`ingest_checkpoint`).  Raises
     ``ValueError`` on anything else, ``OSError`` on unreadable paths.
     """
     from ..farm import is_binary_trace, is_profile_dump, load_profile
+    from ..streaming.snapshot import MANIFEST_NAME
+
+    # Checkpoint directories first: a directory would otherwise sniff
+    # as a telemetry run, and CURRENT.json as a bench envelope.
+    checkpoint_dir: Optional[str] = None
+    if os.path.isdir(path) and os.path.exists(os.path.join(path, MANIFEST_NAME)):
+        checkpoint_dir = path
+    elif os.path.basename(path) == MANIFEST_NAME and os.path.exists(path):
+        checkpoint_dir = os.path.dirname(path) or "."
+    if checkpoint_dir is not None:
+        return ingest_checkpoint(store, checkpoint_dir, run_id=run_id,
+                                 git_sha=git_sha, scale=scale, top_k=top_k)
 
     if not os.path.isdir(path) and is_binary_trace(path):
         from ..farm import analyze_file

@@ -257,6 +257,12 @@ class ObservatoryStore:
             with open(self.path, "w", encoding="utf-8") as stream:
                 stream.write(json.dumps({"type": "meta", "schema": STORE_SCHEMA}) + "\n")
             return
+        # Resolve supersessions before touching the engine: a streaming
+        # run appends one log record per checkpoint, all sharing one
+        # run_id, and only the newest version may be materialised (at
+        # its original position — a stream keeps its place in history).
+        resolved: List[RunRecord] = []
+        index: Dict[str, int] = {}
         with open(self.path, "r", encoding="utf-8") as stream:
             for line in stream:
                 line = line.strip()
@@ -266,11 +272,24 @@ class ObservatoryStore:
                     record = json.loads(line)
                 except ValueError:
                     continue    # truncated trailing line (crash mid-append)
-                if record.get("type") == "run":
-                    self._apply(_record_from_json(record))
+                if record.get("type") != "run":
+                    continue
+                run = _record_from_json(record)
+                seq = index.get(run.run_id)
+                if seq is None:
+                    index[run.run_id] = len(resolved)
+                    resolved.append(run)
+                elif record.get("supersede"):
+                    resolved[seq] = run
+                # duplicate non-superseding append: first write wins,
+                # matching add_run's idempotency
+        for run in resolved:
+            self._apply(run)
 
-    def _append(self, record: RunRecord) -> None:
+    def _append(self, record: RunRecord, supersede: bool = False) -> None:
         payload = _record_to_json(record)
+        if supersede:
+            payload["supersede"] = True
         with self._locked():
             with open(self.path, "a", encoding="utf-8") as stream:
                 stream.write(json.dumps(payload, sort_keys=True) + "\n")
@@ -282,17 +301,44 @@ class ObservatoryStore:
     def has_run(self, run_id: str) -> bool:
         return run_id in self._run_seq
 
-    def add_run(self, record: RunRecord) -> bool:
+    def add_run(self, record: RunRecord, supersede: bool = False) -> bool:
         """Ingest one run; False (and no effect) when run_id is present.
 
         Idempotency is by ``run_id`` alone — re-ingesting the same dump
         (or a re-upload of the same envelope) is a no-op.
+
+        ``supersede=True`` is the streaming-checkpoint contract: a
+        known ``run_id`` is *replaced in place* (same position in run
+        history — later checkpoints of one run are not separate runs)
+        and the replacement is appended to the log with a
+        ``supersede`` marker so replay converges to the newest
+        version.  Re-ingesting a byte-identical checkpoint stays a
+        no-op, keeping superseding ingestion idempotent too.
         """
         if self.has_run(record.run_id):
-            return False
-        self._append(record)
+            if not supersede:
+                return False
+            seq = self._run_seq[record.run_id]
+            if self._records[seq] == record:
+                return False    # identical checkpoint re-ingested
+            self._append(record, supersede=True)
+            records = list(self._records)
+            records[seq] = record
+            self._rebuild(records)
+            return True
+        self._append(record, supersede=supersede)
         self._apply(record)
         return True
+
+    def _rebuild(self, records: List[RunRecord]) -> None:
+        """Re-materialise the engine from an explicit record list."""
+        self._names = []
+        self._ids = {}
+        self._run_seq = {}
+        self._records = []
+        self._engine = self._new_engine()
+        for record in records:
+            self._apply(record)
 
     def _apply(self, record: RunRecord) -> None:
         seq = len(self._records)
@@ -433,13 +479,7 @@ class ObservatoryStore:
                 stream.flush()
                 os.fsync(stream.fileno())
             os.replace(scratch, self.path)
-            self._names = []
-            self._ids = {}
-            self._run_seq = {}
-            self._records = []
-            self._engine = self._new_engine()
-            for record in survivors:
-                self._apply(record)
+            self._rebuild(survivors)
         return len(victims)
 
     def close(self) -> None:

@@ -131,6 +131,42 @@ class ServiceClient:
         kwargs.setdefault("timestamp", mtime_iso(path))
         return self.put_bytes(data, wait=wait, **kwargs)
 
+    def put_stream(
+        self,
+        checkpoint_dir: str,
+        run_id: Optional[str] = None,
+        git_sha: str = "",
+        scale: float = 0.0,
+        wait: bool = False,
+        wait_timeout: Optional[float] = None,
+    ) -> Dict:
+        """Upload the current checkpoint of a live stream directory.
+
+        Reads ``CURRENT.json`` plus the checkpoint chain written by
+        :class:`repro.streaming.SnapshotWriter`, reassembles the full
+        ``repro-profile 1`` dump and ships it with the stream's lag
+        bookkeeping so the server can expose ``streaming.*`` gauges.
+        """
+        from ..streaming import checkpoint_dump_bytes, load_manifest
+
+        manifest = load_manifest(checkpoint_dir)
+        data = checkpoint_dump_bytes(checkpoint_dir, manifest)
+        stream = {
+            "id": manifest.get("stream_id") or manifest.get("id") or "",
+            "seq": manifest.get("seq", 0),
+            "events_analyzed": manifest.get("events_analyzed", 0),
+            "events_behind": manifest.get("events_behind", 0),
+            "lag_ms": manifest.get("lag_ms", 0.0),
+            "events_per_s": manifest.get("events_per_s", 0.0),
+            "closed": bool(manifest.get("closed", False)),
+            "timestamp": manifest.get("timestamp", ""),
+        }
+        return self.request({
+            "op": "put_stream", "tenant": self.tenant, "run_id": run_id,
+            "stream": stream, "git_sha": git_sha, "scale": scale,
+            "wait": wait, "wait_timeout": wait_timeout,
+        }, data)[0]
+
     def job(self, job_id: str) -> Dict:
         return self.request({"op": "job", "job": job_id})[0]
 

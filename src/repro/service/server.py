@@ -62,7 +62,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from .. import telemetry
-from ..observatory import artefact_suffix, detect_drift, ingest_path
+from ..observatory import artefact_suffix, detect_drift, ingest_path, ingest_stream_dump
 from ..telemetry.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from ..telemetry.prometheus import render_prometheus
 from ..telemetry.registry import MetricsRegistry
@@ -74,8 +74,8 @@ from .wire import MAGIC, WireError, recv_frame, send_frame
 __all__ = ["ProfileServer"]
 
 #: ops a request header may name
-_OPS = ("ping", "put", "job", "runs", "alerts", "report", "stats",
-        "tenants", "shutdown")
+_OPS = ("ping", "put", "put_stream", "job", "runs", "alerts", "report",
+        "stats", "tenants", "shutdown")
 
 #: HTTP verbs the sniffer recognizes (only GET/HEAD are served; the
 #: rest answer 405 instead of dying on the wire magic check)
@@ -186,14 +186,25 @@ class ProfileServer:
         with telemetry.span("server.ingest", tenant=job.tenant):
             with self.tenants.lock(job.tenant):
                 store = self.tenants.store(job.tenant)
-                result = ingest_path(
-                    store, job.path,
-                    run_id=params.get("run_id"),
-                    git_sha=params.get("git_sha") or "",
-                    timestamp=params.get("timestamp") or "-",
-                    scale=float(params.get("scale") or 0.0),
-                    top_k=int(params.get("top_k") or self.top_k),
-                )
+                if job.kind == "stream":
+                    with open(job.path, "rb") as stream:
+                        data = stream.read()
+                    result = ingest_stream_dump(
+                        store, data, params.get("stream") or {},
+                        run_id=params.get("run_id"),
+                        git_sha=params.get("git_sha") or "",
+                        scale=float(params.get("scale") or 0.0),
+                        top_k=int(params.get("top_k") or self.top_k),
+                    )
+                else:
+                    result = ingest_path(
+                        store, job.path,
+                        run_id=params.get("run_id"),
+                        git_sha=params.get("git_sha") or "",
+                        timestamp=params.get("timestamp") or "-",
+                        scale=float(params.get("scale") or 0.0),
+                        top_k=int(params.get("top_k") or self.top_k),
+                    )
         if not result.ingested:
             self._bump("service.uploads.duplicate")
         return {
@@ -474,6 +485,85 @@ class ProfileServer:
                            if job.result else run_id,
                            "duplicate": bool(job.result
                                              and not job.result["ingested"]),
+                           **job.snapshot()})
+        return True
+
+    def _op_put_stream(self, sock, header, payload) -> bool:
+        """Ingest one live-stream checkpoint (superseding by stream id).
+
+        Unlike ``put`` there is no at-the-door run-id rejection: every
+        checkpoint of a stream *shares* its run id on purpose, and each
+        upload replaces the previous partial run (an unchanged
+        checkpoint is still an idempotent no-op downstream).  The
+        manifest's lag metrics land on ``/metrics`` as per-tenant
+        ``streaming.*`` gauges, so remote dashboards see stream health
+        without touching the producer host.
+        """
+        tenant = self._tenant_of(header)
+        stream = header.get("stream") or {}
+        stream_id = str(stream.get("id") or stream.get("stream_id") or "")
+        if not payload:
+            self._bump("service.uploads.rejected", reason="empty")
+            self._reply_error(sock, "empty stream checkpoint payload")
+            return True
+        if not stream_id:
+            self._bump("service.uploads.rejected", reason="no_stream_id")
+            self._reply_error(sock, "put_stream without a stream id")
+            return True
+        run_id = str(header.get("run_id") or "") or f"stream-{stream_id}"
+        for gauge_name, key in (("streaming.checkpoint_lag_ms", "lag_ms"),
+                                ("streaming.events_behind", "events_behind")):
+            value = float(stream.get(key) or 0.0)
+            self.registry.gauge(gauge_name, tenant=tenant).set(value)
+            telemetry.gauge(gauge_name, tenant=tenant).set(value)
+        job_id = self.queue.next_job_id()
+        spool_dir = os.path.join(self.tenants.path(tenant), "spool")
+        os.makedirs(spool_dir, exist_ok=True)
+        path = os.path.join(spool_dir, f"{job_id}-{stream_id[:8]}.profile")
+        with telemetry.span("server.spool", tenant=tenant,
+                            bytes=len(payload), stream=stream_id):
+            with open(path, "wb") as handle:
+                handle.write(payload)
+        job = Job(job_id, tenant, "stream", path=path, params={
+            "run_id": run_id if header.get("run_id") else None,
+            "git_sha": str(header.get("git_sha") or ""),
+            "scale": float(header.get("scale") or 0.0),
+            "top_k": int(header.get("top_k") or self.top_k),
+            "stream": {
+                "id": stream_id,
+                "seq": int(stream.get("seq") or 0),
+                "events_analyzed": int(stream.get("events_analyzed") or 0),
+                "events_behind": int(stream.get("events_behind") or 0),
+                "lag_ms": float(stream.get("lag_ms") or 0.0),
+                "events_per_s": float(stream.get("events_per_s") or 0.0),
+                "closed": bool(stream.get("closed")),
+                "timestamp": str(stream.get("timestamp") or ""),
+            },
+        })
+        carrier = telemetry.trace_carrier()
+        if carrier is not None:
+            job.trace = {"id": carrier.get("id"),
+                         "parent": carrier.get("parent"),
+                         "enqueued_time": time.time()}
+        try:
+            self.queue.submit(job)
+        except (QueueFull, QueueClosed) as error:
+            os.unlink(path)
+            reason = ("draining" if isinstance(error, QueueClosed)
+                      else "queue_full")
+            self._bump("service.uploads.rejected", reason=reason)
+            self.slo.record_shed(tenant)
+            self._reply_error(sock, str(error), status="rejected",
+                              reason=reason)
+            return True
+        self._gauge("service.queue.depth", self.queue.depth())
+        self._bump("service.uploads.stream")
+        if header.get("wait"):
+            wait = header.get("wait_timeout")
+            job.done_event.wait(None if wait is None else float(wait))
+        self._reply(sock, {"ok": True, "op": "put_stream", "tenant": tenant,
+                           "run_id": run_id, "stream_id": stream_id,
+                           "seq": int(stream.get("seq") or 0),
                            **job.snapshot()})
         return True
 

@@ -1,0 +1,279 @@
+"""Chunk tailer: follow a growing v2 trace, chunk by sealed chunk.
+
+A live recorder (``repro record --live``) flushes every sealed chunk
+to the OS the moment it is full (:meth:`BinaryTraceWriter._flush_chunk`
+now syncs — PR satellite), so the bytes of a growing trace are always
+``magic · sealed chunks · [partial tail]`` and, once the writer calls
+``close``, ``· footer · trailer``.  The tailer turns that into a pull
+API:
+
+* :meth:`ChunkTailer.poll` parses and returns every *complete* chunk
+  that appeared since the last poll (bounded per poll — backpressure,
+  see below), leaving a partial trailing chunk alone to be re-polled;
+* routine names arrive through the live sidecar
+  (:func:`repro.farm.binfmt.live_names_path`): the writer appends each
+  newly interned name *before* flushing the chunk that first uses it,
+  so :attr:`names` always covers every delivered chunk;
+* each poll first looks for the seal; once the trailer lands, the
+  footer becomes the authoritative chunk index and name table, the
+  remaining chunks drain, and :attr:`sealed` flips;
+* :meth:`finish` is the end-of-stream check: on a file whose writer
+  died mid-flush it raises :class:`~repro.farm.binfmt.TruncatedChunk`
+  — typed and *recoverable*: everything delivered before the tear is a
+  valid prefix.
+
+Backpressure: ``max_chunks_per_poll`` bounds how much a single poll
+may decode, so a tailer that woke up far behind the writer drains in
+bounded-memory slices instead of swallowing the backlog whole;
+:attr:`stalls` counts polls that hit the bound and
+:meth:`pending_events_estimate` sizes the backlog (the
+``streaming.events_behind`` gauge).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, List, Optional
+
+from .. import telemetry
+from ..core.tracefile import unescape_name
+from ..farm.binfmt import (
+    BINARY_MAGIC,
+    BinaryTraceError,
+    ChunkColumns,
+    ChunkMeta,
+    TraceMeta,
+    TruncatedChunk,
+    _CHUNK_FIXED,
+    _RECORD_BYTES,
+    _THREAD_COUNT,
+    _TRAILER,
+    decode_chunk_columns,
+    live_names_path,
+    read_trace_meta,
+)
+
+__all__ = ["ChunkTailer", "DEFAULT_MAX_CHUNKS_PER_POLL"]
+
+DEFAULT_MAX_CHUNKS_PER_POLL = 64
+
+
+class ChunkTailer:
+    """Incrementally parse a growing v2 trace into sealed chunks.
+
+    Args:
+        path: the trace file (may not exist yet).
+        names_path: the live names sidecar; defaults to
+            ``path + ".names"``.  Optional — without it the tailer only
+            learns names when the footer lands.
+        max_chunks_per_poll: backpressure bound; at most this many
+            chunks are parsed and returned per :meth:`poll`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        names_path: Optional[str] = None,
+        max_chunks_per_poll: int = DEFAULT_MAX_CHUNKS_PER_POLL,
+    ):
+        if max_chunks_per_poll <= 0:
+            raise ValueError("max_chunks_per_poll must be positive")
+        self.path = path
+        self.names_path = live_names_path(path) if names_path is None else names_path
+        self.max_chunks_per_poll = max_chunks_per_poll
+        #: routine names seen so far (sidecar prefix, or full footer table)
+        self.names: List[str] = []
+        #: every chunk delivered so far, in trace order
+        self.chunks: List[ChunkMeta] = []
+        #: footer metadata, set once the seal is observed
+        self.meta: Optional[TraceMeta] = None
+        self.sealed = False
+        self.events_seen = 0
+        #: polls that were cut short by ``max_chunks_per_poll``
+        self.stalls = 0
+        self._stream: Optional[IO[bytes]] = None
+        self._offset = 0              # next unparsed byte (0 = magic unchecked)
+        self._next_pos = 0            # global position the next chunk must start at
+        self._names_offset = 0        # consumed bytes of the sidecar
+        self._pending: List[ChunkMeta] = []   # sealed-footer chunks not yet delivered
+        self._tail_size = 0           # file size at the last poll
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "ChunkTailer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def drained(self) -> bool:
+        """True once the trace is sealed and every chunk was delivered."""
+        return self.sealed and not self._pending
+
+    # -- polling -----------------------------------------------------------------
+
+    def _open(self) -> Optional[IO[bytes]]:
+        if self._stream is None:
+            try:
+                self._stream = open(self.path, "rb")
+            except FileNotFoundError:
+                return None
+        return self._stream
+
+    def refresh_names(self) -> int:
+        """Pull newly flushed names from the sidecar; returns new count."""
+        if self.sealed:
+            return 0
+        try:
+            with open(self.names_path, "r", encoding="utf-8") as stream:
+                stream.seek(self._names_offset)
+                block = stream.read()
+        except FileNotFoundError:
+            return 0
+        added = 0
+        consumed = 0
+        for line in block.splitlines(keepends=True):
+            if not line.endswith("\n"):
+                break  # torn tail line: re-read next poll
+            self.names.append(unescape_name(line[:-1]))
+            consumed += len(line.encode("utf-8"))
+            added += 1
+        self._names_offset += consumed
+        return added
+
+    def _check_seal(self, stream: IO[bytes], size: int) -> bool:
+        """Look for a valid trailer+footer; adopt it when present."""
+        if size < len(BINARY_MAGIC) + _TRAILER.size:
+            return False
+        try:
+            meta = read_trace_meta(stream)
+        except BinaryTraceError:
+            return False
+        # The footer's chunk index is authoritative: queue everything we
+        # have not yet delivered (matched by global position).
+        self.meta = meta
+        self.names = list(meta.names)
+        self._pending = [c for c in meta.chunks if c.first_pos >= self._next_pos]
+        self.sealed = True
+        return True
+
+    def _parse_unsealed(self, stream: IO[bytes], size: int, budget: int) -> List[ChunkMeta]:
+        """Sequentially parse complete chunks between offset and EOF."""
+        fresh: List[ChunkMeta] = []
+        while budget > 0:
+            offset = self._offset
+            if offset + _CHUNK_FIXED.size > size:
+                break
+            stream.seek(offset)
+            fixed = stream.read(_CHUNK_FIXED.size)
+            if len(fixed) != _CHUNK_FIXED.size:
+                break
+            payload_bytes, events, first_pos, writes, n_threads = _CHUNK_FIXED.unpack(fixed)
+            if (events <= 0 or n_threads <= 0
+                    or payload_bytes != events * _RECORD_BYTES
+                    or first_pos != self._next_pos):
+                # Not a chunk header: either the footer is being written
+                # (the seal will resolve it next poll) or the file is
+                # torn (finish() reports that).  Stop without progress.
+                break
+            header_size = _CHUNK_FIXED.size + _THREAD_COUNT.size * n_threads
+            if offset + header_size + payload_bytes > size:
+                break  # partial trailing chunk: re-poll later
+            raw = stream.read(_THREAD_COUNT.size * n_threads)
+            if len(raw) != _THREAD_COUNT.size * n_threads:
+                break
+            counts = {thread: count for thread, count in _THREAD_COUNT.iter_unpack(raw)}
+            if sum(counts.values()) != events:
+                break  # implausible header: treat like a non-chunk
+            chunk = ChunkMeta(offset, offset + header_size, payload_bytes,
+                              events, first_pos, writes, counts)
+            fresh.append(chunk)
+            self._offset = offset + header_size + payload_bytes
+            self._next_pos = chunk.last_pos
+            budget -= 1
+        return fresh
+
+    def poll(self) -> List[ChunkColumns]:
+        """Deliver every complete chunk that appeared since last poll.
+
+        Returns decoded :class:`ChunkColumns` in trace order (at most
+        ``max_chunks_per_poll`` of them).  An empty list means either
+        no new sealed chunk yet (re-poll later) or, if :attr:`drained`,
+        end of stream.
+        """
+        stream = self._open()
+        if stream is None:
+            return []
+        size = os.fstat(stream.fileno()).st_size
+        self._tail_size = size
+        if self._offset == 0:
+            if size < len(BINARY_MAGIC):
+                return []
+            stream.seek(0)
+            if stream.read(len(BINARY_MAGIC)) != BINARY_MAGIC:
+                raise BinaryTraceError(f"{self.path}: not a binary trace (bad magic)")
+            self._offset = len(BINARY_MAGIC)
+        budget = self.max_chunks_per_poll
+        with telemetry.span("stream.tail", path=os.path.basename(self.path)) as tail_span:
+            if not self.sealed:
+                self.refresh_names()
+                if not self._check_seal(stream, size):
+                    fresh = self._parse_unsealed(stream, size, budget)
+                else:
+                    fresh = []
+            else:
+                fresh = []
+            if self.sealed and self._pending:
+                take = min(budget, len(self._pending))
+                fresh = self._pending[:take]
+                self._pending = self._pending[take:]
+            if len(fresh) == budget and (self._pending or self._offset < size):
+                self.stalls += 1
+            columns: List[ChunkColumns] = []
+            for chunk in fresh:
+                with telemetry.span("stream.decode", events=chunk.events):
+                    columns.append(decode_chunk_columns(stream, chunk))
+            self.chunks.extend(fresh)
+            self.events_seen += sum(chunk.events for chunk in fresh)
+            tail_span.set(chunks=len(columns), sealed=self.sealed)
+        return columns
+
+    # -- accounting --------------------------------------------------------------
+
+    def pending_events_estimate(self) -> int:
+        """Approximate events on disk not yet delivered (the backlog)."""
+        if self.sealed:
+            return sum(chunk.events for chunk in self._pending)
+        pending_bytes = max(0, self._tail_size - max(self._offset, len(BINARY_MAGIC)))
+        return pending_bytes // _RECORD_BYTES
+
+    def finish(self) -> None:
+        """Assert end of stream; raise on a torn tail.
+
+        Call when the producer is known to be gone.  A clean seal (or a
+        bare magic-only file) passes; leftover bytes that never became
+        a chunk or a seal raise :class:`TruncatedChunk` — the typed,
+        recoverable signal that everything already delivered is a valid
+        prefix of the interrupted run.
+        """
+        self.poll()
+        if self.sealed:
+            return
+        leftover = self._tail_size - max(self._offset, len(BINARY_MAGIC))
+        if self._tail_size and self._offset == 0:
+            leftover = self._tail_size  # never even saw a full magic
+        if leftover > 0:
+            raise TruncatedChunk(
+                f"{self.path}: unsealed trace with {leftover} torn trailing "
+                f"byte(s) after {self.events_seen} delivered event(s) — "
+                "writer killed mid-flush?")
+        if self.events_seen or self._tail_size:
+            raise TruncatedChunk(
+                f"{self.path}: trace was never sealed (no footer/trailer); "
+                f"{self.events_seen} event(s) delivered form a valid prefix")

@@ -1,0 +1,99 @@
+"""``repro watch``: a live ASCII dashboard over streaming checkpoints.
+
+Renders the newest checkpoint of a stream directory as a terminal
+page: stream health (events analysed / behind, throughput, checkpoint
+lag), then the top routines by *fitted growth class* — superlinear
+classes float to the top because an asymptotic blowup mid-run is
+exactly what a live profile exists to catch — each with its worst-case
+cost sparkline.  Pure rendering: the CLI owns the refresh loop and the
+optional co-tailing session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.profile_data import ProfileDatabase
+from ..curvefit.selection import select_model
+from ..observatory.ingest import MIN_FIT_POINTS
+from ..reporting.ascii_charts import sparkline
+
+__all__ = ["render_watch", "routine_rows"]
+
+_UNFIT = "~"   # fewer distinct sizes than any model needs
+
+
+def routine_rows(
+    db: ProfileDatabase, top: int = 10
+) -> List[Tuple[str, str, int, int, str]]:
+    """Top routines as ``(name, growth, calls, cost, sparkline)`` rows.
+
+    Ranked by growth class (superlinear first), then by total cost —
+    the watch-list ordering of "what is about to hurt".
+    """
+    merged = db.merged()
+    fitted = []
+    for routine in sorted(merged):
+        profile = merged[routine]
+        points = profile.worst_case_points()
+        model, order = _UNFIT, -1
+        if len(points) >= MIN_FIT_POINTS:
+            try:
+                selection = select_model(points)
+                model = selection.name
+                order = selection.best.model.order
+            except ValueError:
+                pass
+        trend = sparkline([cost for _, cost in points[-24:]]) if points else ""
+        fitted.append((order, (routine, model, profile.calls,
+                               profile.cost_sum, trend)))
+    fitted.sort(key=lambda item: (-item[0], -item[1][3], item[1][0]))
+    return [row for _, row in fitted[:top]]
+
+
+def _humanise(value: float) -> str:
+    for bound, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= bound:
+            return f"{value / bound:.1f}{suffix}"
+    return f"{value:.0f}" if value == int(value) else f"{value:.1f}"
+
+
+def render_watch(
+    manifest: Dict,
+    db: ProfileDatabase,
+    top: int = 10,
+    width: int = 78,
+) -> str:
+    """One full dashboard frame (trailing newline included)."""
+    state = "closed" if manifest.get("closed") else "live"
+    title = (f"repro watch — stream {manifest.get('stream_id', '?')} "
+             f"· checkpoint #{manifest.get('seq', 0)} · {state}")
+    lines = [title, "=" * min(width, max(len(title), 40))]
+    lines.append(
+        "events analyzed {:>10}   behind ~{:<8} throughput {:>9} ev/s".format(
+            _humanise(manifest.get("events_analyzed", 0)),
+            _humanise(manifest.get("events_behind", 0)),
+            _humanise(manifest.get("events_per_s", 0.0)),
+        ))
+    lines.append(
+        "checkpoint lag {:>8.1f} ms   stalls {:<9} emitted {}".format(
+            float(manifest.get("lag_ms", 0.0)),
+            manifest.get("stalls", 0),
+            manifest.get("timestamp", "?"),
+        ))
+    lines.append("")
+    rows = routine_rows(db, top=top)
+    name_w = max([len("routine")] + [min(len(r[0]), 36) for r in rows])
+    header = (f"{'routine':<{name_w}}  {'growth':<10} {'calls':>9} "
+              f"{'cost':>12}  trend")
+    lines.append(header)
+    lines.append("-" * min(width, len(header) + 24))
+    if not rows:
+        lines.append("(no completed activations yet)")
+    for routine, model, calls, cost, trend in rows:
+        shown = routine if len(routine) <= 36 else routine[:33] + "..."
+        growth = model if model != _UNFIT else "~"
+        lines.append(
+            f"{shown:<{name_w}}  {growth:<10} {_humanise(calls):>9} "
+            f"{_humanise(cost):>12}  {trend}")
+    return "\n".join(lines) + "\n"

@@ -1,6 +1,7 @@
 """Property and unit tests for the v2 binary trace format."""
 
 import io
+import os
 
 import pytest
 from hypothesis import given, settings
@@ -179,3 +180,87 @@ def test_negative_and_large_arguments_roundtrip():
         Event(EventKind.COST, 0, 0),
     ]
     assert roundtrip(events) == events
+
+
+# -- live-writer additions: flush visibility, durability, torn tails ----------
+
+
+def test_truncated_chunk_is_typed_and_recoverable():
+    """An unsealed (or torn) trace raises :class:`TruncatedChunk` — the
+    recoverable subtype a tailer catches — not a generic format error."""
+    from repro.farm import TruncatedChunk
+
+    assert issubclass(TruncatedChunk, BinaryTraceError)
+
+    buffer = io.BytesIO()
+    writer = BinaryTraceWriter(buffer, chunk_events=2)
+    for addr in range(6):
+        writer.on_read(1, addr)
+    # no close(): the trailer never lands
+    buffer.seek(0)
+    with pytest.raises(TruncatedChunk, match="writer still running"):
+        read_trace_meta(buffer)
+
+    # a sealed trace cut mid-trailer is equally recoverable
+    whole = io.BytesIO()
+    write_binary_trace([Event(EventKind.COST, 1, 5)], whole)
+    torn = io.BytesIO(whole.getvalue()[:-4])
+    with pytest.raises(TruncatedChunk):
+        read_trace_meta(torn)
+
+    # a bare magic (writer opened, nothing sealed yet) is also "not yet"
+    with pytest.raises(TruncatedChunk, match="unsealed"):
+        read_trace_meta(io.BytesIO(b"RPTRACE2"))
+
+
+def test_sealed_chunks_are_flushed_at_seal_time(tmp_path):
+    """``_flush_chunk`` must push bytes to the OS: a separate reader sees
+    every sealed chunk while the writer is still open."""
+    path = tmp_path / "live.rpt2"
+    with open(path, "wb") as stream:
+        writer = BinaryTraceWriter(stream, chunk_events=4)
+        for addr in range(11):
+            writer.on_read(1, addr)
+        # two chunks sealed (8 events), 3 events still buffered
+        size_mid_flight = os.path.getsize(path)
+        assert size_mid_flight >= len(b"RPTRACE2") + 2 * 4 * 17
+        writer.close()
+    assert os.path.getsize(path) > size_mid_flight
+
+
+def test_durable_flag_survives_simulated_crash(tmp_path):
+    """``durable=True`` fsyncs each seal; killing the process after a
+    seal must leave the chunk on disk (simulated: never close())."""
+    path = tmp_path / "crash.rpt2"
+    stream = open(path, "wb")
+    writer = BinaryTraceWriter(stream, chunk_events=4, durable=True)
+    writer.on_call(1, "victim")
+    for addr in range(7):
+        writer.on_read(1, addr)
+    stream.close()      # the "crash": no writer.close(), no footer
+    with open(path, "rb") as reopened:
+        with pytest.raises(BinaryTraceError):
+            read_trace_meta(reopened)
+    assert os.path.getsize(path) >= len(b"RPTRACE2") + 4 * 17
+
+
+def test_names_sidecar_flushes_before_chunk(tmp_path):
+    """Any name a sealed chunk references is already readable from the
+    sidecar — the invariant the live tailer's decoder depends on."""
+    from repro.core.tracefile import unescape_name
+    from repro.farm import live_names_path
+
+    path = str(tmp_path / "live.rpt2")
+    with open(path, "wb") as stream, \
+            open(live_names_path(path), "w", encoding="utf-8") as names:
+        writer = BinaryTraceWriter(stream, chunk_events=2, names_stream=names)
+        writer.on_call(1, "solver solve")      # space needs escaping
+        writer.on_return(1)                     # seals chunk 1
+        with open(live_names_path(path), "r", encoding="utf-8") as sidecar:
+            flushed = [unescape_name(line.rstrip("\n")) for line in sidecar]
+        assert flushed == ["solver solve"]
+        writer.on_call(1, "second")
+        writer.close()
+    with open(live_names_path(path), "r", encoding="utf-8") as sidecar:
+        flushed = [unescape_name(line.rstrip("\n")) for line in sidecar]
+    assert flushed == ["solver solve", "second"]

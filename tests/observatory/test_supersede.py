@@ -1,0 +1,83 @@
+"""Superseding runs: the streaming-checkpoint contract on the store."""
+
+from repro.observatory import ObservatoryStore, record_from_profile_db
+
+from .util import db_from
+
+
+def stream_record(db, seq, run_id="stream-abc", closed=False):
+    record = record_from_profile_db(
+        db, run_id=run_id, git_sha="sha-live",
+        timestamp=f"2026-08-07T00:00:{seq:02d}+00:00",
+        scale=1.0, source="stream")
+    metrics = dict(record.metrics)
+    metrics["streaming.seq"] = float(seq)
+    metrics["streaming.closed"] = 1.0 if closed else 0.0
+    return record._replace(metrics=metrics)
+
+
+def test_supersede_replaces_in_place(tmp_path):
+    store = ObservatoryStore(str(tmp_path / "obs"))
+    store.add_run(record_from_profile_db(
+        db_from({"alpha": lambda n: n}), run_id="batch-0",
+        timestamp="2026-08-06T00:00:00+00:00"))
+    assert store.add_run(stream_record(db_from({"alpha": lambda n: n}), 1))
+    store.add_run(record_from_profile_db(
+        db_from({"alpha": lambda n: n}), run_id="batch-1",
+        timestamp="2026-08-08T00:00:00+00:00"))
+
+    # checkpoint #2 grows the stream's profile; its history slot is stable
+    bigger = db_from({"alpha": lambda n: n, "beta": lambda n: n * n})
+    assert store.add_run(stream_record(bigger, 2), supersede=True)
+    runs = store.runs()
+    assert [run.run_id for run in runs] == ["batch-0", "stream-abc", "batch-1"]
+    stream = next(run for run in runs if run.run_id == "stream-abc")
+    assert stream.routines == 2
+    assert store.metrics_for(stream.seq)["streaming.seq"] == 2.0
+
+
+def test_without_supersede_known_run_is_a_noop(tmp_path):
+    store = ObservatoryStore(str(tmp_path / "obs"))
+    assert store.add_run(stream_record(db_from({"alpha": lambda n: n}), 1))
+    bigger = stream_record(db_from({"alpha": lambda n: n * n}), 2)
+    assert not store.add_run(bigger)           # default path: idempotent
+    assert store.metrics_for(store.runs()[0].seq)["streaming.seq"] == 1.0
+
+
+def test_identical_supersede_is_idempotent(tmp_path):
+    store = ObservatoryStore(str(tmp_path / "obs"))
+    record = stream_record(db_from({"alpha": lambda n: n}), 1)
+    assert store.add_run(record, supersede=True)
+    assert not store.add_run(record, supersede=True)
+
+
+def test_replay_converges_to_newest_version(tmp_path):
+    path = str(tmp_path / "obs")
+    store = ObservatoryStore(path)
+    store.add_run(stream_record(db_from({"alpha": lambda n: n}), 1))
+    for seq in (2, 3):
+        db = db_from({"alpha": lambda n: n ** (seq - 1)})
+        store.add_run(stream_record(db, seq, closed=seq == 3), supersede=True)
+
+    reopened = ObservatoryStore(path)          # replays history.jsonl
+    runs = reopened.runs()
+    assert len(runs) == 1
+    metrics = reopened.metrics_for(runs[0].seq)
+    assert metrics["streaming.seq"] == 3.0
+    assert metrics["streaming.closed"] == 1.0
+
+
+def test_gc_then_supersede_still_works(tmp_path):
+    store = ObservatoryStore(str(tmp_path / "obs"))
+    for index in range(4):
+        store.add_run(record_from_profile_db(
+            db_from({"alpha": lambda n: n}), run_id=f"old-{index}",
+            timestamp=f"2026-08-0{index + 1}T00:00:00+00:00"))
+    store.add_run(stream_record(db_from({"alpha": lambda n: n}), 1))
+    dropped = store.gc(keep=2)
+    assert dropped == 3
+    survivors = [run.run_id for run in store.runs()]
+    assert survivors == ["old-3", "stream-abc"]
+    assert store.add_run(
+        stream_record(db_from({"alpha": lambda n: 2 * n}), 2), supersede=True)
+    assert [run.run_id for run in store.runs()] == survivors

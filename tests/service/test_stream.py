@@ -1,0 +1,80 @@
+"""The ``put_stream`` op: live checkpoints through the service."""
+
+import urllib.request
+
+import pytest
+
+from repro.core import ProfileDatabase
+from repro.service import ServiceClient, ServiceError
+from repro.streaming import SnapshotWriter
+from tools.check_metrics import check_metrics_text
+
+from .util import running_server
+
+
+def checkpoint_dir(tmp_path, stream_id="cafe0123beef", seqs=1, closed=False):
+    """A real checkpoint directory with ``seqs`` emitted snapshots."""
+    directory = str(tmp_path / f"ckpt-{stream_id}")
+    writer = SnapshotWriter(directory, stream_id)
+    db = ProfileDatabase()
+    for seq in range(1, seqs + 1):
+        for size in (4, 8, 16, 32, 64):
+            db.add_activation("hot", 1, size, size * size)
+            if seq > 1:
+                db.add_activation("late", 1, size, 3 * size)
+        writer.emit(db, events_analyzed=1000 * seq, events_behind=40,
+                    lag_ms=12.5, events_per_s=50_000.0,
+                    closed=closed and seq == seqs,
+                    timestamp=f"2026-08-07T00:00:{seq:02d}")
+    return directory
+
+
+def test_put_stream_ingests_and_supersedes(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port, tenant="web") as client:
+            first = checkpoint_dir(tmp_path, seqs=1)
+            reply = client.put_stream(first, wait=True)
+            assert reply["ok"] and reply["op"] == "put_stream"
+            assert reply["run_id"] == "stream-cafe0123beef"
+            assert reply["seq"] == 1
+            runs = client.runs()
+            assert [run["run_id"] for run in runs] == ["stream-cafe0123beef"]
+
+            # checkpoint #2 of the same stream supersedes, not appends
+            second = checkpoint_dir(tmp_path, seqs=2, closed=True)
+            reply = client.put_stream(second, wait=True)
+            assert reply["seq"] == 2
+            runs = client.runs()
+            assert len(runs) == 1
+            assert runs[0]["routines"] == 2          # "late" arrived
+
+
+def test_put_stream_exposes_streaming_gauges(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port, tenant="web") as client:
+            client.put_stream(checkpoint_dir(tmp_path), wait=True)
+        base = f"http://{server.host}:{server.port}"
+        text = urllib.request.urlopen(f"{base}/metrics").read().decode()
+    assert check_metrics_text(text) == []
+    assert 'streaming_checkpoint_lag_ms{tenant="web"} 12.5' in text
+    assert 'streaming_events_behind{tenant="web"} 40' in text
+
+
+def test_put_stream_rejects_bad_requests(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port, tenant="web") as client:
+            with pytest.raises(ServiceError, match="stream id"):
+                client.request({"op": "put_stream", "tenant": "web",
+                                "stream": {}}, b"profile bytes")
+            with pytest.raises(ServiceError, match="empty"):
+                client.request({"op": "put_stream", "tenant": "web",
+                                "stream": {"id": "abc"}}, b"")
+
+
+def test_put_stream_respects_explicit_run_id(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServiceClient(server.host, server.port, tenant="web") as client:
+            reply = client.put_stream(checkpoint_dir(tmp_path),
+                                      run_id="nightly-live", wait=True)
+            assert reply["run_id"] == "nightly-live"
+            assert [run["run_id"] for run in client.runs()] == ["nightly-live"]

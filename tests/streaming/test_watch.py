@@ -1,0 +1,47 @@
+"""The watch dashboard: ranking, rendering, CLI round trip."""
+
+from repro.core import ProfileDatabase
+from repro.streaming import render_watch, routine_rows
+
+
+def fitted_db(routines, sizes=(4, 8, 16, 32, 64)):
+    db = ProfileDatabase()
+    for name, cost_fn in routines.items():
+        for size in sizes:
+            db.add_activation(name, 1, size, int(cost_fn(size)))
+    return db
+
+
+def test_superlinear_routines_rank_first():
+    db = fitted_db({
+        "linear_hog": lambda n: 900 * n,       # most cost, but linear
+        "quadratic": lambda n: n * n,
+        "constant": lambda n: 17,
+    })
+    rows = routine_rows(db, top=10)
+    assert rows[0][0] == "quadratic"
+    growth = {name: model for name, model, *_ in rows}
+    assert "n^2" in growth["quadratic"] or "2" in growth["quadratic"]
+    assert growth["constant"].startswith("O(1)")
+
+
+def test_render_watch_frame_contents():
+    db = fitted_db({"alpha": lambda n: 3 * n})
+    manifest = {
+        "stream_id": "cafe01", "seq": 4, "closed": False,
+        "events_analyzed": 12345, "events_behind": 67,
+        "events_per_s": 2500.0, "lag_ms": 1.5, "stalls": 0,
+        "timestamp": "2026-08-07T00:00:00",
+    }
+    frame = render_watch(manifest, db, top=5)
+    assert "stream cafe01" in frame and "checkpoint #4" in frame
+    assert "live" in frame
+    assert "alpha" in frame
+    assert "12.3k" in frame            # humanised events analyzed
+    manifest["closed"] = True
+    assert "closed" in render_watch(manifest, db)
+
+
+def test_render_empty_database():
+    frame = render_watch({"stream_id": "x", "seq": 1}, ProfileDatabase())
+    assert "(no completed activations yet)" in frame

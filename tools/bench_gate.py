@@ -87,6 +87,7 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 GATED_BENCHES = (
     os.path.join("benchmarks", "bench_kernel_throughput.py"),
     os.path.join("benchmarks", "bench_farm_speedup.py"),
+    os.path.join("benchmarks", "bench_streaming_latency.py"),
 )
 
 BASELINES_DIR = os.path.join(_ROOT, "benchmarks", "baselines")
